@@ -1,0 +1,66 @@
+//! §5.2.4 — event-matching cost: the summary matcher (Algorithm 1)
+//! against a naive per-subscription scan, for growing subscription
+//! populations and both selective and popular events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum_core::BrokerSummary;
+use subsum_types::{BrokerId, Event, LocalSubId, Subscription};
+use subsum_workload::{PaperParams, Workload};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let mut workload = Workload::new(PaperParams::default(), 0.7);
+    let schema = workload.schema().clone();
+
+    for &n in &[100usize, 1000, 5000] {
+        let subs: Vec<Subscription> = workload.subscriptions(n, &mut rng);
+        let mut summary = BrokerSummary::new(schema.clone());
+        for (i, sub) in subs.iter().enumerate() {
+            summary.insert(BrokerId(0), LocalSubId(i as u32), sub);
+        }
+        let selective: Vec<Event> = (0..64).map(|_| workload.event(0.2, &mut rng)).collect();
+        let popular: Vec<Event> = (0..64).map(|_| workload.event(0.7, &mut rng)).collect();
+
+        group.throughput(Throughput::Elements(selective.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("summary_selective", n),
+            &selective,
+            |b, events| {
+                b.iter(|| {
+                    events
+                        .iter()
+                        .map(|e| summary.match_event(e).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("summary_popular", n),
+            &popular,
+            |b, events| {
+                b.iter(|| {
+                    events
+                        .iter()
+                        .map(|e| summary.match_event(e).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &popular, |b, events| {
+            b.iter(|| {
+                events
+                    .iter()
+                    .map(|e| subs.iter().filter(|s| s.matches(e)).count())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

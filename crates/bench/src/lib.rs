@@ -1,0 +1,12 @@
+//! Benchmark harness for the subscription-summarization reproduction.
+//!
+//! One Criterion bench per paper table/figure plus microbenchmarks:
+//!
+//! * `fig8_bandwidth`, `fig9_hops`, `fig10_event_hops`, `fig11_storage` —
+//!   regenerate the corresponding figure (each bench prints the table it
+//!   measured);
+//! * `matching` — §5.2.4 matching cost, summary vs naive scan;
+//! * `summary_ops` — insert/merge/encode/decode throughput;
+//! * `pattern` — glob matching and covering micro-costs.
+//!
+//! Run all of them with `cargo bench --workspace`.

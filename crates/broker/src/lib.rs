@@ -1,0 +1,52 @@
+//! Summary-centric publish/subscribe brokers — the distributed half of the
+//! ICDCS 2004 subscription-summarization system.
+//!
+//! Building on the summary structures of `subsum-core`, this crate
+//! implements the paper's distributed algorithms:
+//!
+//! * [`propagation`] — **Algorithm 2** (§4.2): degree-indexed propagation
+//!   of multi-broker summaries with `Merged_Brokers` bookkeeping;
+//! * [`routing`] — **Algorithm 3** (§4.3): BROCLI-driven event routing to
+//!   the brokers owning matched subscriptions, including the paper's
+//!   *virtual degrees* load-balancing extension (§6);
+//! * [`SummaryPubSub`] — the end-to-end system: exact per-broker
+//!   subscription stores, periodic propagation, two-tier matching
+//!   (summary candidates verified at the home broker);
+//! * [`runtime`] — a concurrent deployment of the same logic with one OS
+//!   thread per broker communicating over channels.
+//!
+//! # Example
+//!
+//! ```
+//! use subsum_broker::SummaryPubSub;
+//! use subsum_net::Topology;
+//! use subsum_types::{stock_schema, Subscription, Event, NumOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut system = SummaryPubSub::new(
+//!     Topology::cable_wireless_24(), stock_schema(), 1000)?;
+//! let schema = system.schema().clone();
+//! let sub = Subscription::builder(&schema)
+//!     .num("price", NumOp::Lt, 10.0)?
+//!     .build()?;
+//! let id = system.subscribe(7, &sub)?;
+//! system.propagate()?;
+//! let event = Event::builder(&schema).num("price", 8.4)?.build();
+//! assert_eq!(system.publish(0, &event).deliveries[0].id, id);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod propagation;
+pub mod routing;
+pub mod runtime;
+mod snapshot;
+mod system;
+
+pub use propagation::{propagate, MergedSummary, PropagationOutcome, PropagationSend};
+pub use routing::{route_event, Notification, RoutingOptions, RoutingOutcome};
+pub use snapshot::SnapshotError;
+pub use system::{Delivery, PublishOutcome, SummaryPubSub};

@@ -1,0 +1,367 @@
+//! Distributed event processing — Algorithm 3 (paper §4.3).
+//!
+//! An event entering the system at a broker is examined against that
+//! broker's stored multi-broker summary. Matches are sent straight to the
+//! owning brokers (the `c1` component of each matched subscription id).
+//! The event carries **BROCLI** — the Broker Check List — recording every
+//! broker whose subscriptions have already been examined; each examining
+//! broker adds its whole `Merged_Brokers` set. While BROCLI is not yet
+//! complete, the event forwards to the highest-degree broker outside
+//! BROCLI (nearest first among ties), and the process repeats.
+//!
+//! The *virtual degrees* extension (§6, the paper's ongoing work on load
+//! balancing) lets maximum-degree brokers advertise a smaller degree for
+//! the purposes of the next-broker choice, spreading the examination load.
+
+use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_types::{Event, SubscriptionId};
+
+use crate::propagation::MergedSummary;
+
+/// Options for [`route_event`].
+#[derive(Debug, Clone, Default)]
+pub struct RoutingOptions {
+    /// Effective per-broker degrees used when choosing the next broker.
+    /// `None` uses true topology degrees (the paper's base algorithm);
+    /// see [`RoutingOptions::with_virtual_degrees`].
+    pub virtual_degrees: Option<Vec<usize>>,
+}
+
+impl RoutingOptions {
+    /// The base algorithm: true degrees.
+    pub fn new() -> Self {
+        RoutingOptions::default()
+    }
+
+    /// Caps every broker's advertised degree at `cap` (the paper's
+    /// virtual-degree load-balancing device for maximum-degree nodes).
+    pub fn with_virtual_degrees(topology: &Topology, cap: usize) -> Self {
+        let degrees = (0..topology.len() as NodeId)
+            .map(|v| topology.degree(v).min(cap))
+            .collect();
+        RoutingOptions {
+            virtual_degrees: Some(degrees),
+        }
+    }
+
+    fn effective_degree(&self, topology: &Topology, v: NodeId) -> usize {
+        match &self.virtual_degrees {
+            Some(d) => d[v as usize],
+            None => topology.degree(v),
+        }
+    }
+}
+
+/// One delivery decision: a matched subscription id reported to its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// The broker that found the match.
+    pub found_at: NodeId,
+    /// The owning broker (the id's `c1`).
+    pub owner: NodeId,
+    /// The matched subscription.
+    pub id: SubscriptionId,
+}
+
+/// The result of routing one event.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Brokers that examined the event, in visit order (starting with the
+    /// publisher's broker).
+    pub visits: Vec<NodeId>,
+    /// Event forwards between examining brokers.
+    pub forward_hops: u64,
+    /// Event sends to matched owners (a notification to the examining
+    /// broker itself costs no hop).
+    pub notify_hops: u64,
+    /// All candidate matches found, with their provenance.
+    pub notifications: Vec<Notification>,
+    /// Traffic counters (forwards and notifications).
+    pub metrics: NetMetrics,
+}
+
+impl RoutingOutcome {
+    /// The paper's event-processing hop count: every broker→broker
+    /// message carrying the event.
+    pub fn total_hops(&self) -> u64 {
+        self.forward_hops + self.notify_hops
+    }
+
+    /// The distinct candidate subscription ids.
+    pub fn candidate_ids(&self) -> Vec<SubscriptionId> {
+        let mut ids: Vec<SubscriptionId> = self.notifications.iter().map(|n| n.id).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Routes an event published at `publisher` through the stored
+/// multi-broker summaries (Algorithm 3).
+///
+/// `event_bytes` is the event's wire size used for bandwidth accounting;
+/// BROCLI adds `⌈n/8⌉` bytes to each forward.
+///
+/// # Panics
+///
+/// Panics if `stored.len()` differs from the topology size or `publisher`
+/// is out of range.
+pub fn route_event(
+    topology: &Topology,
+    stored: &[MergedSummary],
+    publisher: NodeId,
+    event: &Event,
+    event_bytes: usize,
+    options: &RoutingOptions,
+) -> RoutingOutcome {
+    assert_eq!(stored.len(), topology.len());
+    assert!((publisher as usize) < topology.len());
+    let n = topology.len();
+    let brocli_bytes = n.div_ceil(8);
+    let mut metrics = NetMetrics::new(n);
+    let mut brocli = vec![false; n];
+    let mut visits = Vec::new();
+    let mut notifications = Vec::new();
+    let mut forward_hops = 0u64;
+    let mut notify_hops = 0u64;
+
+    let mut current = publisher;
+    loop {
+        visits.push(current);
+        let state = &stored[current as usize];
+
+        // 1. Check the local merged summary for matches; report each
+        //    matched subscription to its owner unless the owner's
+        //    subscriptions were already examined earlier on the path.
+        let matched = state.summary.match_event(event);
+        let mut owners_here: Vec<NodeId> = Vec::new();
+        for id in matched {
+            let owner = id.broker.0 as NodeId;
+            if brocli[owner as usize] {
+                continue; // already examined at a previous broker
+            }
+            notifications.push(Notification {
+                found_at: current,
+                owner,
+                id,
+            });
+            if owner != current && !owners_here.contains(&owner) {
+                owners_here.push(owner);
+            }
+        }
+        for owner in owners_here {
+            let dist = topology.distances(current)[owner as usize];
+            metrics.record(current, owner, event_bytes, dist);
+            notify_hops += 1;
+        }
+
+        // 2. Update BROCLI with the whole Merged_Brokers set.
+        brocli[current as usize] = true;
+        for &b in &state.merged_brokers {
+            brocli[b as usize] = true;
+        }
+
+        // 3–4. Forward while BROCLI is incomplete.
+        if brocli.iter().all(|&c| c) {
+            break;
+        }
+        let dist_from_current = topology.distances(current);
+        let next = (0..n as NodeId)
+            .filter(|&v| !brocli[v as usize])
+            .min_by_key(|&v| {
+                (
+                    std::cmp::Reverse(options.effective_degree(topology, v)),
+                    dist_from_current[v as usize],
+                    v,
+                )
+            })
+            .expect("some broker remains outside BROCLI");
+        metrics.record(
+            current,
+            next,
+            event_bytes + brocli_bytes,
+            dist_from_current[next as usize],
+        );
+        forward_hops += 1;
+        current = next;
+    }
+
+    RoutingOutcome {
+        visits,
+        forward_hops,
+        notify_hops,
+        notifications,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::propagate;
+    use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
+    use subsum_types::{stock_schema, BrokerId, IdLayout, LocalSubId, NumOp, Schema, Subscription};
+
+    fn codec(schema: &Schema, brokers: usize) -> SummaryCodec {
+        let layout = IdLayout::new(brokers as u64, 1000, schema.len() as u32).unwrap();
+        SummaryCodec::new(layout, ArithWidth::Eight)
+    }
+
+    /// Brokers in `interested` subscribe to `price = 42`; everyone else
+    /// subscribes to a disjoint value.
+    fn summaries_with_interest(
+        schema: &Schema,
+        n: usize,
+        interested: &[NodeId],
+    ) -> Vec<BrokerSummary> {
+        (0..n)
+            .map(|b| {
+                let price = if interested.contains(&(b as NodeId)) {
+                    42.0
+                } else {
+                    -1000.0 - b as f64
+                };
+                let sub = Subscription::builder(schema)
+                    .num("price", NumOp::Eq, price)
+                    .unwrap()
+                    .build()
+                    .unwrap();
+                let mut s = BrokerSummary::new(schema.clone());
+                s.insert(BrokerId(b as u16), LocalSubId(0), &sub);
+                s
+            })
+            .collect()
+    }
+
+    fn price_event(schema: &Schema, price: f64) -> Event {
+        Event::builder(schema).num("price", price).unwrap().build()
+    }
+
+    #[test]
+    fn fig7_worked_example() {
+        // §4.3 Example 3: an event matching (paper) brokers 4, 8, 13
+        // arrives at broker 1.
+        let schema = stock_schema();
+        let topo = Topology::fig7_tree();
+        let interested: Vec<NodeId> = vec![3, 7, 12]; // paper 4, 8, 13
+        let own = summaries_with_interest(&schema, 13, &interested);
+        let prop = propagate(&topo, &own, &codec(&schema, 13)).unwrap();
+        let event = price_event(&schema, 42.0);
+        let out = route_event(&topo, &prop.stored, 0, &event, 50, &RoutingOptions::new());
+
+        // Visit order: broker 1 (node 0) → broker 5 (node 4) →
+        // broker 8 (node 7) → broker 11 (node 10).
+        assert_eq!(out.visits, vec![0, 4, 7, 10]);
+        assert_eq!(out.forward_hops, 3);
+        // Notifications to owners 3 and 12 cost hops; broker 8's own
+        // match (node 7) is local.
+        assert_eq!(out.notify_hops, 2);
+        let mut owners: Vec<NodeId> = out.notifications.iter().map(|n| n.owner).collect();
+        owners.sort();
+        assert_eq!(owners, interested);
+    }
+
+    #[test]
+    fn all_interested_brokers_found_regardless_of_publisher() {
+        let schema = stock_schema();
+        let topo = Topology::cable_wireless_24();
+        let interested: Vec<NodeId> = vec![1, 6, 13, 22];
+        let own = summaries_with_interest(&schema, 24, &interested);
+        let prop = propagate(&topo, &own, &codec(&schema, 24)).unwrap();
+        let event = price_event(&schema, 42.0);
+        for publisher in 0..24 {
+            let out = route_event(
+                &topo,
+                &prop.stored,
+                publisher,
+                &event,
+                50,
+                &RoutingOptions::new(),
+            );
+            let mut owners: Vec<NodeId> = out.notifications.iter().map(|n| n.owner).collect();
+            owners.sort();
+            owners.dedup();
+            assert_eq!(owners, interested, "publisher {publisher}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_notifications_for_one_owner_subscription() {
+        // Broker 1's summary is stored at several brokers along the
+        // propagation path; BROCLI must prevent double notification.
+        let schema = stock_schema();
+        let topo = Topology::fig7_tree();
+        let own = summaries_with_interest(&schema, 13, &[0]);
+        let prop = propagate(&topo, &own, &codec(&schema, 13)).unwrap();
+        let event = price_event(&schema, 42.0);
+        for publisher in 0..13 {
+            let out = route_event(
+                &topo,
+                &prop.stored,
+                publisher,
+                &event,
+                50,
+                &RoutingOptions::new(),
+            );
+            assert_eq!(
+                out.notifications.len(),
+                1,
+                "publisher {publisher} produced {:?}",
+                out.notifications
+            );
+        }
+    }
+
+    #[test]
+    fn visits_bounded_by_broker_count() {
+        let schema = stock_schema();
+        let topo = Topology::ring(9);
+        let own = summaries_with_interest(&schema, 9, &[]);
+        let prop = propagate(&topo, &own, &codec(&schema, 9)).unwrap();
+        let event = price_event(&schema, 42.0);
+        let out = route_event(&topo, &prop.stored, 0, &event, 50, &RoutingOptions::new());
+        assert!(out.visits.len() <= 9);
+        assert!(out.notifications.is_empty());
+        // Every broker ends up in BROCLI: visits' merged sets cover all.
+        let covered: std::collections::BTreeSet<NodeId> = out
+            .visits
+            .iter()
+            .flat_map(|&v| prop.stored[v as usize].merged_brokers.iter().copied())
+            .collect();
+        assert_eq!(covered.len(), 9);
+    }
+
+    #[test]
+    fn virtual_degrees_spread_load() {
+        let schema = stock_schema();
+        let topo = Topology::star(12);
+        let own = summaries_with_interest(&schema, 12, &[]);
+        let prop = propagate(&topo, &own, &codec(&schema, 12)).unwrap();
+        let event = price_event(&schema, 42.0);
+        // Base: leaves forward straight to the hub (degree 11).
+        let base = route_event(&topo, &prop.stored, 1, &event, 50, &RoutingOptions::new());
+        assert_eq!(base.visits[1], 0);
+        // With the hub's degree capped to 1, it loses its priority; ties
+        // then resolve by distance, so the hub (1 hop away) is still
+        // next, but the choice went through the virtual-degree path.
+        let opts = RoutingOptions::with_virtual_degrees(&topo, 1);
+        let capped = route_event(&topo, &prop.stored, 1, &event, 50, &opts);
+        // Routing still terminates with full coverage.
+        assert!(capped.visits.len() <= 12);
+    }
+
+    #[test]
+    fn event_published_at_interested_broker_notifies_locally() {
+        let schema = stock_schema();
+        let topo = Topology::fig7_tree();
+        let own = summaries_with_interest(&schema, 13, &[0]);
+        let prop = propagate(&topo, &own, &codec(&schema, 13)).unwrap();
+        let event = price_event(&schema, 42.0);
+        let out = route_event(&topo, &prop.stored, 0, &event, 50, &RoutingOptions::new());
+        assert_eq!(out.notifications.len(), 1);
+        assert_eq!(out.notifications[0].owner, 0);
+        assert_eq!(out.notifications[0].found_at, 0);
+        // A local match costs no notification hop.
+        assert_eq!(out.notify_hops, 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Broker-state snapshots: persist and restore a [`SummaryPubSub`].
+//!
+//! A production pub/sub deployment must survive restarts without losing
+//! the outstanding subscriptions. A snapshot captures everything not
+//! derivable from code: the schema, the overlay, each broker's exact
+//! subscription store (with ids and local counters) and the §6 shadow
+//! maps. Summaries and multi-broker state are *not* persisted — they are
+//! summaries, rebuilt exactly by the first propagation after restore.
+//!
+//! Format: magic, version, schema (names + kinds), topology (edge list),
+//! flags, per-broker `next_local`, subscription records and shadow edges,
+//! all via the deterministic byte codec.
+
+use std::collections::HashMap;
+
+use subsum_net::{NodeId, Topology};
+use subsum_types::{
+    AttrKind, ByteReader, ByteWriter, DecodeError, Schema, Subscription, SubscriptionId,
+};
+
+use crate::system::SummaryPubSub;
+
+const MAGIC: u32 = 0x5355_4253; // "SUBS"
+const VERSION: u8 = 1;
+
+/// Errors from [`SummaryPubSub::from_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The stream is not a snapshot (bad magic) or of an unknown version.
+    Format(&'static str),
+    /// Truncated or structurally malformed content.
+    Decode(DecodeError),
+    /// Decoded content violates the type layer.
+    Type(subsum_types::TypeError),
+    /// Decoded topology is invalid.
+    Topology(subsum_net::TopologyError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Format(what) => write!(f, "snapshot format error: {what}"),
+            SnapshotError::Decode(e) => write!(f, "snapshot decode failed: {e}"),
+            SnapshotError::Type(e) => write!(f, "snapshot content invalid: {e}"),
+            SnapshotError::Topology(e) => write!(f, "snapshot topology invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl From<subsum_types::TypeError> for SnapshotError {
+    fn from(e: subsum_types::TypeError) -> Self {
+        SnapshotError::Type(e)
+    }
+}
+
+impl From<subsum_net::TopologyError> for SnapshotError {
+    fn from(e: subsum_net::TopologyError) -> Self {
+        SnapshotError::Topology(e)
+    }
+}
+
+fn put_id(w: &mut ByteWriter, id: SubscriptionId) {
+    w.u16(id.broker.0);
+    w.u32(id.local.0);
+    w.u64(id.mask.0);
+}
+
+fn get_id(r: &mut ByteReader<'_>) -> Result<SubscriptionId, DecodeError> {
+    Ok(SubscriptionId::new(
+        subsum_types::BrokerId(r.u16()?),
+        subsum_types::LocalSubId(r.u32()?),
+        subsum_types::AttrMask(r.u64()?),
+    ))
+}
+
+impl SummaryPubSub {
+    /// Serializes the durable system state (schema, overlay, exact
+    /// stores, shadow maps). See the [module docs](self) for what is and
+    /// is not captured.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(MAGIC);
+        w.u8(VERSION);
+
+        // Schema.
+        let schema = self.schema();
+        w.u16(schema.len() as u16);
+        for (_, spec) in schema.iter() {
+            w.str16(&spec.name);
+            w.u8(match spec.kind {
+                AttrKind::String => 0,
+                AttrKind::Integer => 1,
+                AttrKind::Float => 2,
+                AttrKind::Date => 3,
+            });
+        }
+
+        // Topology.
+        let topology = self.topology();
+        w.u16(topology.len() as u16);
+        let edges: Vec<_> = topology.edges().collect();
+        w.u32(edges.len() as u32);
+        for (a, b) in edges {
+            w.u16(a);
+            w.u16(b);
+        }
+
+        // System flags and capacity.
+        w.u8(u8::from(self.subsumption_filter_enabled()));
+        w.u64(self.max_subs_per_broker());
+
+        // Per-broker stores.
+        for b in 0..topology.len() as NodeId {
+            w.u32(self.next_local_at(b));
+            let mut subs: Vec<(&SubscriptionId, &Subscription)> =
+                self.exact_store(b).iter().collect();
+            subs.sort_by_key(|(id, _)| **id);
+            w.u32(subs.len() as u32);
+            for (id, sub) in subs {
+                put_id(&mut w, *id);
+                sub.encode(&mut w);
+            }
+            let mut shadow_edges: Vec<(SubscriptionId, SubscriptionId)> =
+                self.shadow_edges(b).collect();
+            shadow_edges.sort();
+            w.u32(shadow_edges.len() as u32);
+            for (covered, coverer) in shadow_edges {
+                put_id(&mut w, covered);
+                put_id(&mut w, coverer);
+            }
+        }
+        w.into_bytes().to_vec()
+    }
+
+    /// Restores a system from a snapshot produced by
+    /// [`SummaryPubSub::to_snapshot`]. Summaries are rebuilt; run
+    /// [`SummaryPubSub::propagate`] before publishing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] if the stream is malformed or
+    /// internally inconsistent.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<SummaryPubSub, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(SnapshotError::Format("bad magic"));
+        }
+        if r.u8()? != VERSION {
+            return Err(SnapshotError::Format("unsupported version"));
+        }
+
+        let n_attrs = r.u16()? as usize;
+        let mut sb = Schema::builder();
+        for _ in 0..n_attrs {
+            let name = r.str16()?.to_owned();
+            let kind = match r.u8()? {
+                0 => AttrKind::String,
+                1 => AttrKind::Integer,
+                2 => AttrKind::Float,
+                3 => AttrKind::Date,
+                _ => return Err(SnapshotError::Format("unknown attribute kind")),
+            };
+            sb = sb.attr(name, kind)?;
+        }
+        let schema = sb.build();
+
+        let n_brokers = r.u16()? as usize;
+        let n_edges = r.u32()? as usize;
+        let mut edges = Vec::with_capacity(n_edges.min(1 << 16));
+        for _ in 0..n_edges {
+            edges.push((r.u16()?, r.u16()?));
+        }
+        let topology = Topology::from_edges(n_brokers, &edges)?;
+
+        let filter = r.u8()? != 0;
+        let max_subs = r.u64()?;
+
+        let mut sys = SummaryPubSub::new(topology, schema, max_subs)?;
+        sys.set_subsumption_filter(filter);
+
+        for b in 0..n_brokers as NodeId {
+            let next_local = r.u32()?;
+            let n_subs = r.u32()? as usize;
+            let mut subs = Vec::with_capacity(n_subs.min(1 << 20));
+            for _ in 0..n_subs {
+                let id = get_id(&mut r)?;
+                let sub = Subscription::decode(&mut r)?;
+                subs.push((id, sub));
+            }
+            let n_shadows = r.u32()? as usize;
+            let mut shadows = HashMap::with_capacity(n_shadows.min(1 << 20));
+            for _ in 0..n_shadows {
+                let covered = get_id(&mut r)?;
+                let coverer = get_id(&mut r)?;
+                shadows.insert(covered, coverer);
+            }
+            sys.restore_broker_state(b, next_local, subs, shadows)
+                .map_err(SnapshotError::Type)?;
+        }
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Format("trailing bytes"));
+        }
+        Ok(sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use subsum_types::{stock_schema, Event, NumOp, StrOp};
+
+    fn populated_system(filter: bool) -> (SummaryPubSub, Vec<SubscriptionId>) {
+        let schema = stock_schema();
+        let mut sys = SummaryPubSub::new(Topology::fig7_tree(), schema.clone(), 1000).unwrap();
+        sys.set_subsumption_filter(filter);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ids = Vec::new();
+        for b in 0..13u16 {
+            for k in 0..6 {
+                let sub = if k % 2 == 0 {
+                    Subscription::builder(&schema)
+                        .num("price", NumOp::Lt, rng.gen_range(1..50) as f64)
+                        .unwrap()
+                        .build()
+                        .unwrap()
+                } else {
+                    Subscription::builder(&schema)
+                        .str_op(
+                            "symbol",
+                            StrOp::Prefix,
+                            &format!("S{}", rng.gen_range(0..4)),
+                        )
+                        .unwrap()
+                        .build()
+                        .unwrap()
+                };
+                ids.push(sys.subscribe(b, &sub).unwrap());
+            }
+        }
+        (sys, ids)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_behavior() {
+        let (mut original, _) = populated_system(false);
+        original.propagate().unwrap();
+        let snapshot = original.to_snapshot();
+        let mut restored = SummaryPubSub::from_snapshot(&snapshot).unwrap();
+        restored.propagate().unwrap();
+
+        let schema = original.schema().clone();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let event = Event::builder(&schema)
+                .num("price", rng.gen_range(0..60) as f64)
+                .unwrap()
+                .str("symbol", format!("S{}x", rng.gen_range(0..5)))
+                .unwrap()
+                .build();
+            let publisher = rng.gen_range(0..13u16);
+            let a: Vec<_> = original
+                .publish(publisher, &event)
+                .deliveries
+                .iter()
+                .map(|d| d.id)
+                .collect();
+            let b: Vec<_> = restored
+                .publish(publisher, &event)
+                .deliveries
+                .iter()
+                .map(|d| d.id)
+                .collect();
+            assert_eq!(a, b);
+            assert_eq!(a, original.oracle_matches(&event));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_shadow_maps() {
+        let (mut original, ids) = populated_system(true);
+        let shadowed: usize = (0..13u16).map(|b| original.shadowed_count(b)).sum();
+        assert!(shadowed > 0, "workload must exercise shadowing");
+        original.propagate().unwrap();
+        let snapshot = original.to_snapshot();
+        let mut restored = SummaryPubSub::from_snapshot(&snapshot).unwrap();
+        let restored_shadowed: usize = (0..13u16).map(|b| restored.shadowed_count(b)).sum();
+        assert_eq!(shadowed, restored_shadowed);
+        restored.propagate().unwrap();
+
+        // Ids keep working: new subscriptions continue the local counters
+        // without collisions.
+        let schema = restored.schema().clone();
+        let sub = Subscription::builder(&schema)
+            .num("high", NumOp::Gt, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let new_id = restored.subscribe(3, &sub).unwrap();
+        assert!(
+            !ids.contains(&new_id),
+            "restored counters must not reuse ids"
+        );
+    }
+
+    #[test]
+    fn malformed_snapshots_rejected() {
+        assert!(matches!(
+            SummaryPubSub::from_snapshot(&[]),
+            Err(SnapshotError::Decode(_))
+        ));
+        assert!(matches!(
+            SummaryPubSub::from_snapshot(&[0, 0, 0, 0, 1]),
+            Err(SnapshotError::Format("bad magic"))
+        ));
+        let (sys, _) = populated_system(false);
+        let mut bytes = sys.to_snapshot();
+        bytes.push(0xFF);
+        assert!(matches!(
+            SummaryPubSub::from_snapshot(&bytes),
+            Err(SnapshotError::Format("trailing bytes"))
+        ));
+        // Truncations never panic.
+        let bytes = sys.to_snapshot();
+        for cut in (0..bytes.len()).step_by(37) {
+            assert!(SummaryPubSub::from_snapshot(&bytes[..cut]).is_err());
+        }
+    }
+}

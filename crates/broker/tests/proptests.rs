@@ -1,0 +1,147 @@
+//! Property-based tests for the distributed algorithms: Algorithm 2
+//! coverage and Algorithm 3 delivery exactness on random topologies and
+//! random interest sets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum_broker::{propagate, route_event, RoutingOptions, SummaryPubSub};
+use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
+use subsum_net::{NodeId, Topology};
+use subsum_types::{AttrKind, BrokerId, Event, IdLayout, LocalSubId, Schema, StrOp, Subscription};
+
+fn random_topology(seed: u64, n: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Topology::random_connected(n.max(2), n / 3, &mut rng)
+}
+
+fn tag_schema() -> Schema {
+    Schema::builder()
+        .attr("tag", AttrKind::String)
+        .unwrap()
+        .build()
+}
+
+fn marker_sub(schema: &Schema, b: NodeId) -> Subscription {
+    Subscription::builder(schema)
+        .str_op("tag", StrOp::Contains, &format!("<b{b}>"))
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn marker_event(schema: &Schema, matched: &[NodeId]) -> Event {
+    let tag: String = matched.iter().map(|b| format!("<b{b}>")).collect();
+    Event::builder(schema).str("tag", tag).unwrap().build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 2 on arbitrary connected topologies: every broker's set
+    /// contains itself, hops never exceed the broker count, and every
+    /// broker's subscriptions end up inside the stored summary of every
+    /// broker whose `Merged_Brokers` set claims them.
+    #[test]
+    fn propagation_claims_are_backed_by_content(seed in 0u64..500, n in 2usize..25) {
+        let topology = random_topology(seed, n);
+        let n = topology.len();
+        let schema = tag_schema();
+        let layout = IdLayout::new(n as u64, 4, 1).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Four);
+        let own: Vec<BrokerSummary> = (0..n as NodeId)
+            .map(|b| {
+                let mut s = BrokerSummary::new(schema.clone());
+                s.insert(BrokerId(b), LocalSubId(0), &marker_sub(&schema, b));
+                s
+            })
+            .collect();
+        let out = propagate(&topology, &own, &codec).unwrap();
+        prop_assert!(out.covers_all_brokers());
+        prop_assert!(out.hops() <= n as u64);
+        for (b, stored) in out.stored.iter().enumerate() {
+            prop_assert!(stored.merged_brokers.contains(&(b as NodeId)));
+            let ids = stored.summary.subscription_ids();
+            for &claimed in &stored.merged_brokers {
+                prop_assert!(
+                    ids.iter().any(|id| id.broker.0 == claimed),
+                    "broker {b} claims {claimed} but lacks its subscription"
+                );
+            }
+        }
+    }
+
+    /// Algorithm 3 notifies exactly the matched brokers, from any
+    /// publisher, with visit count bounded by the broker count.
+    #[test]
+    fn routing_is_exact_and_bounded(seed in 0u64..500, n in 2usize..25,
+                                    raw_matched in proptest::collection::vec(0usize..25, 1..6),
+                                    raw_pub in 0usize..25) {
+        let topology = random_topology(seed, n);
+        let n = topology.len();
+        let schema = tag_schema();
+        let layout = IdLayout::new(n as u64, 4, 1).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Four);
+        let own: Vec<BrokerSummary> = (0..n as NodeId)
+            .map(|b| {
+                let mut s = BrokerSummary::new(schema.clone());
+                s.insert(BrokerId(b), LocalSubId(0), &marker_sub(&schema, b));
+                s
+            })
+            .collect();
+        let stored = propagate(&topology, &own, &codec).unwrap().stored;
+        let mut matched: Vec<NodeId> = raw_matched.iter().map(|&x| (x % n) as NodeId).collect();
+        matched.sort_unstable();
+        matched.dedup();
+        let publisher = (raw_pub % n) as NodeId;
+        let event = marker_event(&schema, &matched);
+        let out = route_event(&topology, &stored, publisher, &event, 50,
+                              &RoutingOptions::new());
+        let mut owners: Vec<NodeId> = out.notifications.iter().map(|x| x.owner).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        prop_assert_eq!(owners, matched);
+        prop_assert!(out.visits.len() <= n);
+        // No broker is visited twice.
+        let mut v = out.visits.clone();
+        v.sort_unstable();
+        v.dedup();
+        prop_assert_eq!(v.len(), out.visits.len());
+    }
+
+    /// End-to-end: deliveries equal the oracle even under the §6
+    /// subsumption filter, on random topologies.
+    #[test]
+    fn system_with_filter_equals_oracle(seed in 0u64..200, n in 2usize..12,
+                                        filter in any::<bool>()) {
+        let topology = random_topology(seed, n);
+        let n = topology.len();
+        let schema = tag_schema();
+        let mut sys = SummaryPubSub::new(topology, schema.clone(), 64).unwrap();
+        sys.set_subsumption_filter(filter);
+        // Broker b watches its own marker; half the brokers also watch
+        // the universal containment (covering everything).
+        for b in 0..n as NodeId {
+            sys.subscribe(b, &marker_sub(&schema, b)).unwrap();
+            if b % 2 == 0 {
+                let broad = Subscription::builder(&schema)
+                    .str_op("tag", StrOp::Contains, "<b")
+                    .unwrap()
+                    .build()
+                    .unwrap();
+                sys.subscribe(b, &broad).unwrap();
+            }
+        }
+        sys.propagate().unwrap();
+        let matched: Vec<NodeId> = (0..n as NodeId).filter(|b| b % 3 == 0).collect();
+        let event = marker_event(&schema, &matched);
+        for publisher in 0..n as NodeId {
+            let out = sys.publish(publisher, &event);
+            let mut got: Vec<_> = out.deliveries.iter().map(|d| d.id).collect();
+            got.sort();
+            got.dedup();
+            prop_assert_eq!(got, sys.oracle_matches(&event));
+        }
+    }
+}

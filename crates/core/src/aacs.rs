@@ -1,0 +1,454 @@
+//! AACS — Arithmetic Attribute Constraint Summaries (paper §3.1, Fig. 4).
+//!
+//! For each arithmetic attribute, a broker maintains two structures:
+//!
+//! * **AACS_SR** — rows of *non-overlapping sub-ranges* of the values
+//!   constrained by subscriptions, each row carrying the list of
+//!   subscription ids whose constraint is satisfied throughout the row;
+//! * **AACS_E** — equality values outside the sub-ranges, again with id
+//!   lists per row.
+//!
+//! This implementation keeps the sub-range partition *exact*: when a new
+//! constraint's range partially overlaps existing rows, rows are split so
+//! that every row's id list holds precisely the subscriptions satisfied on
+//! the whole row. Arithmetic matching therefore introduces no false
+//! positives (string SACS summarization is the lossy part; see
+//! [`sacs`](crate::sacs)).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use subsum_types::{Interval, IntervalSet, Num, SubscriptionId};
+
+pub use crate::idlist::IdList;
+use crate::idlist::{idlist_insert, idlist_merge};
+
+/// One sub-range row of AACS_SR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeRow {
+    /// The non-overlapping sub-range this row represents.
+    pub interval: Interval,
+    /// Subscriptions whose constraint is satisfied by every value in the
+    /// sub-range.
+    pub ids: IdList,
+}
+
+/// The arithmetic constraint summary for a single attribute.
+///
+/// # Example
+///
+/// ```
+/// use subsum_core::RangeSummary;
+/// use subsum_types::{Interval, Num, SubscriptionId, BrokerId, LocalSubId, AttrMask};
+/// # fn n(v: f64) -> Num { Num::new(v).unwrap() }
+/// # fn id(k: u32) -> SubscriptionId {
+/// #     SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
+/// # }
+/// let mut aacs = RangeSummary::new();
+/// // S1: 8.30 < price < 8.70 (Fig. 4).
+/// aacs.insert_interval(Interval::open(n(8.30), n(8.70)), id(1));
+/// // S2: price = 8.20.
+/// aacs.insert_point(n(8.20), id(2));
+/// assert_eq!(aacs.query(n(8.40)), vec![id(1)]);
+/// assert_eq!(aacs.query(n(8.20)), vec![id(2)]);
+/// assert!(aacs.query(n(9.0)).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RangeSummary {
+    /// AACS_SR: disjoint, sorted sub-ranges.
+    ranges: Vec<RangeRow>,
+    /// AACS_E: equality values.
+    points: BTreeMap<Num, IdList>,
+}
+
+impl RangeSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        RangeSummary::default()
+    }
+
+    /// Returns `true` if no constraint has been summarized.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty() && self.points.is_empty()
+    }
+
+    /// Number of sub-range rows (`n_sr` in the paper's size equations).
+    pub fn range_rows(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of equality rows (`n_e` in the paper's size equations).
+    pub fn point_rows(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Total subscription-id list length across all rows (`L_a` in the
+    /// paper's size equations).
+    pub fn id_list_len(&self) -> usize {
+        self.ranges.iter().map(|r| r.ids.len()).sum::<usize>()
+            + self.points.values().map(|l| l.len()).sum::<usize>()
+    }
+
+    /// The sub-range rows, sorted and disjoint.
+    pub fn ranges(&self) -> &[RangeRow] {
+        &self.ranges
+    }
+
+    /// The equality rows in ascending value order.
+    pub fn points(&self) -> impl Iterator<Item = (Num, &IdList)> {
+        self.points.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Records that subscription `id` constrains this attribute to `set`
+    /// (the normalized interval-set form of its conjunction).
+    pub fn insert_set(&mut self, set: &IntervalSet, id: SubscriptionId) {
+        for iv in set.iter() {
+            self.insert_interval(*iv, id);
+        }
+    }
+
+    /// Records an equality constraint `attr = v` for subscription `id`
+    /// (an AACS_E row).
+    pub fn insert_point(&mut self, v: Num, id: SubscriptionId) {
+        idlist_insert(self.points.entry(v).or_default(), id);
+    }
+
+    /// As [`RangeSummary::insert_point`] with several ids at once (used
+    /// when decoding and merging summaries).
+    pub fn insert_point_ids(&mut self, v: Num, ids: &[SubscriptionId]) {
+        if ids.is_empty() {
+            return;
+        }
+        idlist_merge(self.points.entry(v).or_default(), ids);
+    }
+
+    /// Records a range constraint for subscription `id`, splitting
+    /// existing rows as needed to keep the partition exact. Degenerate
+    /// point intervals are routed to AACS_E.
+    pub fn insert_interval(&mut self, iv: Interval, id: SubscriptionId) {
+        self.insert_interval_ids(iv, &[id]);
+    }
+
+    /// As [`RangeSummary::insert_interval`] but attaching several ids at
+    /// once (used when merging summaries).
+    pub fn insert_interval_ids(&mut self, iv: Interval, ids: &[SubscriptionId]) {
+        if iv.is_empty() || ids.is_empty() {
+            return;
+        }
+        if let Some(p) = iv.as_point() {
+            let list = self.points.entry(p).or_default();
+            idlist_merge(list, ids);
+            return;
+        }
+        let mut result: Vec<RangeRow> = Vec::with_capacity(self.ranges.len() + 2);
+        // Degenerate fragments produced by splitting are routed to
+        // AACS_E so the partition holds only proper ranges (keeps the
+        // structure canonical for wire round-trips).
+        let mut degenerate: Vec<(Num, IdList)> = Vec::new();
+        let mut route = |interval: Interval, ids: IdList, result: &mut Vec<RangeRow>| {
+            if let Some(p) = interval.as_point() {
+                degenerate.push((p, ids));
+            } else {
+                result.push(RangeRow { interval, ids });
+            }
+        };
+        // Parts of `iv` not covered by any existing row.
+        let mut remaining = IntervalSet::from_interval(iv);
+        for row in self.ranges.drain(..) {
+            let inter = row.interval.intersect(&iv);
+            if inter.is_empty() {
+                result.push(row);
+                continue;
+            }
+            // Row fragments outside `iv` keep the old id list.
+            for part in row.interval.subtract(&iv) {
+                route(part, row.ids.clone(), &mut result);
+            }
+            // The overlap gains the new ids.
+            let mut merged = row.ids;
+            idlist_merge(&mut merged, ids);
+            route(inter, merged, &mut result);
+            remaining = remaining.intersect(&interval_complement(&inter));
+        }
+        for part in remaining.iter() {
+            route(*part, ids.to_vec(), &mut result);
+        }
+        result.sort_by(|a, b| cmp_lo(&a.interval, &b.interval));
+        self.ranges = result;
+        self.coalesce();
+        for (p, ids) in degenerate {
+            idlist_merge(self.points.entry(p).or_default(), &ids);
+        }
+    }
+
+    /// Merges adjacent rows with identical id lists back into one row
+    /// (keeps `n_sr` minimal after splits and removals).
+    fn coalesce(&mut self) {
+        let mut out: Vec<RangeRow> = Vec::with_capacity(self.ranges.len());
+        for row in self.ranges.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.ids == row.ids => {
+                    let union = IntervalSet::from_interval(last.interval)
+                        .union(&IntervalSet::from_interval(row.interval));
+                    if union.len() == 1 {
+                        last.interval = *union.iter().next().expect("non-empty union");
+                        continue;
+                    }
+                    out.push(row);
+                }
+                _ => out.push(row),
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// All subscription ids whose constraint on this attribute is
+    /// satisfied by the value `v` — the `Check_for_a_value_match
+    /// (type arithmetic)` procedure of §3.3: scan the sub-ranges first,
+    /// then the equality values.
+    pub fn query(&self, v: Num) -> IdList {
+        let mut out = IdList::new();
+        self.query_into(v, &mut out);
+        out
+    }
+
+    /// As [`RangeSummary::query`], appending into a caller buffer (hot
+    /// path for the matcher).
+    pub fn query_into(&self, v: Num, out: &mut IdList) {
+        // Binary search over the disjoint sorted rows.
+        let idx = self
+            .ranges
+            .partition_point(|row| upper_below(&row.interval, v));
+        if let Some(row) = self.ranges.get(idx) {
+            if row.interval.contains(v) {
+                out.extend_from_slice(&row.ids);
+            }
+        }
+        if let Some(list) = self.points.get(&v) {
+            out.extend_from_slice(list);
+        }
+    }
+
+    /// Removes every occurrence of `id`, dropping empty rows.
+    pub fn remove(&mut self, id: SubscriptionId) {
+        for row in &mut self.ranges {
+            if let Ok(pos) = row.ids.binary_search(&id) {
+                row.ids.remove(pos);
+            }
+        }
+        self.ranges.retain(|r| !r.ids.is_empty());
+        self.coalesce();
+        self.points.retain(|_, list| {
+            if let Ok(pos) = list.binary_search(&id) {
+                list.remove(pos);
+            }
+            !list.is_empty()
+        });
+    }
+
+    /// Merges another attribute summary into this one (multi-broker
+    /// summaries, §4.1: "values for the same numeric attributes are simply
+    /// merged").
+    pub fn merge(&mut self, other: &RangeSummary) {
+        for row in &other.ranges {
+            self.insert_interval_ids(row.interval, &row.ids);
+        }
+        for (v, ids) in &other.points {
+            let list = self.points.entry(*v).or_default();
+            idlist_merge(list, ids);
+        }
+    }
+
+    /// Iterates over every subscription id mentioned in this summary
+    /// (with repetition across rows).
+    pub fn all_ids(&self) -> impl Iterator<Item = SubscriptionId> + '_ {
+        self.ranges
+            .iter()
+            .flat_map(|r| r.ids.iter().copied())
+            .chain(self.points.values().flat_map(|l| l.iter().copied()))
+    }
+}
+
+/// `true` if the interval lies entirely below `v`.
+fn upper_below(iv: &Interval, v: Num) -> bool {
+    match iv.hi() {
+        subsum_types::UpperBound::PosInf => false,
+        subsum_types::UpperBound::Incl(b) => b < v,
+        subsum_types::UpperBound::Excl(b) => b <= v,
+    }
+}
+
+/// The complement of an interval as an interval set.
+fn interval_complement(iv: &Interval) -> IntervalSet {
+    let mut parts = Vec::with_capacity(2);
+    for p in Interval::ALL.subtract(iv) {
+        parts.push(p);
+    }
+    parts.into_iter().fold(IntervalSet::empty(), |acc, p| {
+        acc.union(&IntervalSet::from_interval(p))
+    })
+}
+
+fn cmp_lo(a: &Interval, b: &Interval) -> std::cmp::Ordering {
+    // Disjoint intervals order by any interior point; compare by lower
+    // bound key (NegInf first, then value, exclusive after inclusive).
+    fn key(iv: &Interval) -> (bool, Option<(Num, u8)>) {
+        match iv.lo() {
+            subsum_types::LowerBound::NegInf => (false, None),
+            subsum_types::LowerBound::Incl(v) => (true, Some((v, 0))),
+            subsum_types::LowerBound::Excl(v) => (true, Some((v, 1))),
+        }
+    }
+    key(a).cmp(&key(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsum_types::{AttrMask, BrokerId, LocalSubId};
+
+    fn n(v: f64) -> Num {
+        Num::new(v).unwrap()
+    }
+
+    fn id(k: u32) -> SubscriptionId {
+        SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
+    }
+
+    #[test]
+    fn paper_fig4_example() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::open(n(8.30), n(8.70)), id(1));
+        aacs.insert_point(n(8.20), id(2));
+        assert_eq!(aacs.range_rows(), 1);
+        assert_eq!(aacs.point_rows(), 1);
+        assert_eq!(aacs.query(n(8.40)), vec![id(1)]);
+        assert_eq!(aacs.query(n(8.20)), vec![id(2)]);
+        assert!(aacs.query(n(8.30)).is_empty());
+        assert!(aacs.query(n(8.70)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_ranges_split_exactly() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(1.0), n(5.0)), id(1));
+        aacs.insert_interval(Interval::closed(n(3.0), n(8.0)), id(2));
+        assert_eq!(aacs.range_rows(), 3);
+        assert_eq!(aacs.query(n(2.0)), vec![id(1)]);
+        assert_eq!(aacs.query(n(4.0)), vec![id(1), id(2)]);
+        assert_eq!(aacs.query(n(6.0)), vec![id(2)]);
+        assert!(aacs.query(n(9.0)).is_empty());
+    }
+
+    #[test]
+    fn identical_ranges_share_one_row() {
+        let mut aacs = RangeSummary::new();
+        let iv = Interval::open(n(0.0), n(1.0));
+        aacs.insert_interval(iv, id(1));
+        aacs.insert_interval(iv, id(2));
+        aacs.insert_interval(iv, id(3));
+        assert_eq!(aacs.range_rows(), 1);
+        assert_eq!(aacs.id_list_len(), 3);
+        assert_eq!(aacs.query(n(0.5)), vec![id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut aacs = RangeSummary::new();
+        let iv = Interval::open(n(0.0), n(1.0));
+        aacs.insert_interval(iv, id(1));
+        aacs.insert_interval(iv, id(1));
+        assert_eq!(aacs.id_list_len(), 1);
+        aacs.insert_point(n(5.0), id(1));
+        aacs.insert_point(n(5.0), id(1));
+        assert_eq!(aacs.point_rows(), 1);
+        assert_eq!(aacs.query(n(5.0)), vec![id(1)]);
+    }
+
+    #[test]
+    fn nested_range_splits_into_three() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(10.0)), id(1));
+        aacs.insert_interval(Interval::closed(n(4.0), n(6.0)), id(2));
+        assert_eq!(aacs.range_rows(), 3);
+        assert_eq!(aacs.query(n(5.0)), vec![id(1), id(2)]);
+        assert_eq!(aacs.query(n(1.0)), vec![id(1)]);
+        assert_eq!(aacs.query(n(7.0)), vec![id(1)]);
+    }
+
+    #[test]
+    fn point_interval_goes_to_aacse() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(3.0), n(3.0)), id(1));
+        assert_eq!(aacs.range_rows(), 0);
+        assert_eq!(aacs.point_rows(), 1);
+        assert_eq!(aacs.query(n(3.0)), vec![id(1)]);
+    }
+
+    #[test]
+    fn interval_set_with_hole() {
+        // volume ≠ 130000.
+        let mut aacs = RangeSummary::new();
+        let set = IntervalSet::all().without_point(n(130000.0));
+        aacs.insert_set(&set, id(2));
+        assert!(aacs.query(n(130000.0)).is_empty());
+        assert_eq!(aacs.query(n(132700.0)), vec![id(2)]);
+        assert_eq!(aacs.query(n(0.0)), vec![id(2)]);
+    }
+
+    #[test]
+    fn removal_drops_rows_and_recoalesces() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(10.0)), id(1));
+        aacs.insert_interval(Interval::closed(n(4.0), n(6.0)), id(2));
+        aacs.insert_point(n(20.0), id(2));
+        assert_eq!(aacs.range_rows(), 3);
+        aacs.remove(id(2));
+        // The three fragments of id(1) coalesce back into one row.
+        assert_eq!(aacs.range_rows(), 1);
+        assert_eq!(aacs.point_rows(), 0);
+        assert_eq!(aacs.query(n(5.0)), vec![id(1)]);
+        aacs.remove(id(1));
+        assert!(aacs.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_summaries() {
+        let mut a = RangeSummary::new();
+        a.insert_interval(Interval::closed(n(0.0), n(5.0)), id(1));
+        a.insert_point(n(9.0), id(1));
+        let mut b = RangeSummary::new();
+        b.insert_interval(Interval::closed(n(3.0), n(8.0)), id(2));
+        b.insert_point(n(9.0), id(2));
+        a.merge(&b);
+        assert_eq!(a.query(n(4.0)), vec![id(1), id(2)]);
+        assert_eq!(a.query(n(9.0)), vec![id(1), id(2)]);
+        assert_eq!(a.query(n(7.0)), vec![id(2)]);
+    }
+
+    #[test]
+    fn query_with_many_disjoint_rows() {
+        let mut aacs = RangeSummary::new();
+        for k in 0..100u32 {
+            let lo = n(k as f64 * 10.0);
+            let hi = n(k as f64 * 10.0 + 5.0);
+            aacs.insert_interval(Interval::closed(lo, hi), id(k));
+        }
+        assert_eq!(aacs.range_rows(), 100);
+        assert_eq!(aacs.query(n(503.0)), vec![id(50)]);
+        assert!(aacs.query(n(507.0)).is_empty());
+        assert_eq!(aacs.query(n(0.0)), vec![id(0)]);
+        assert_eq!(aacs.query(n(995.0)), vec![id(99)]);
+    }
+
+    #[test]
+    fn unbounded_ranges() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::greater_than(n(130000.0)), id(2));
+        aacs.insert_interval(Interval::less_than(n(8.05)), id(3));
+        assert_eq!(aacs.query(n(1e9)), vec![id(2)]);
+        assert_eq!(aacs.query(n(-1e9)), vec![id(3)]);
+        assert!(aacs.query(n(100.0)).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Sorted subscription-id lists shared by the summary row structures.
+
+use subsum_types::SubscriptionId;
+
+/// A sorted, deduplicated list of subscription ids attached to a summary
+/// row.
+pub type IdList = Vec<SubscriptionId>;
+
+/// Inserts `id` keeping the list sorted and deduplicated.
+pub(crate) fn idlist_insert(list: &mut IdList, id: SubscriptionId) {
+    if let Err(pos) = list.binary_search(&id) {
+        list.insert(pos, id);
+    }
+}
+
+/// Merges the sorted `other` into the sorted `list`.
+///
+/// Small batches use insertion (cheap, in place); large batches use a
+/// linear two-pointer merge so that summary merging stays linear in the
+/// total id count.
+pub(crate) fn idlist_merge(list: &mut IdList, other: &[SubscriptionId]) {
+    debug_assert!(other.windows(2).all(|w| w[0] <= w[1]), "other is sorted");
+    if other.len() <= 8 {
+        for &id in other {
+            idlist_insert(list, id);
+        }
+        return;
+    }
+    let mut merged = Vec::with_capacity(list.len() + other.len());
+    let (mut i, mut j) = (0, 0);
+    while i < list.len() && j < other.len() {
+        match list[i].cmp(&other[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(list[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(other[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(list[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&list[i..]);
+    while j < other.len() {
+        // `other` may contain duplicates relative to nothing, but is
+        // itself deduplicated; plain extend suffices.
+        merged.push(other[j]);
+        j += 1;
+    }
+    *list = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsum_types::{AttrMask, BrokerId, LocalSubId};
+
+    fn id(k: u32) -> SubscriptionId {
+        SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
+    }
+
+    #[test]
+    fn insert_keeps_sorted_dedup() {
+        let mut l = IdList::new();
+        for k in [5u32, 1, 3, 5, 1] {
+            idlist_insert(&mut l, id(k));
+        }
+        assert_eq!(l, vec![id(1), id(3), id(5)]);
+    }
+
+    #[test]
+    fn merge_small_and_large_agree() {
+        let base: IdList = (0..50).step_by(3).map(id).collect();
+        let other: IdList = (0..50).step_by(2).map(id).collect();
+        let mut small_path = base.clone();
+        for &x in &other {
+            idlist_insert(&mut small_path, x);
+        }
+        let mut large_path = base.clone();
+        idlist_merge(&mut large_path, &other);
+        assert_eq!(small_path, large_path);
+        assert!(large_path.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut l: IdList = vec![id(1)];
+        idlist_merge(&mut l, &[]);
+        assert_eq!(l, vec![id(1)]);
+        let mut e = IdList::new();
+        let other: IdList = (0..20).map(id).collect();
+        idlist_merge(&mut e, &other);
+        assert_eq!(e, other);
+    }
+}

@@ -1,0 +1,270 @@
+//! Property-based tests for summary invariants: the no-false-negative
+//! guarantee under insertion, merging, removal and wire round-trips.
+
+use proptest::prelude::*;
+
+use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
+use subsum_types::{
+    stock_schema, BrokerId, Event, IdLayout, LocalSubId, NumOp, Schema, StrOp, Subscription,
+    SubscriptionId, Value,
+};
+
+/// Values drawn from a small shared domain so that subscriptions and
+/// events collide often enough to exercise matching.
+fn num_value() -> impl Strategy<Value = f64> {
+    (-16i32..16).prop_map(|v| v as f64 / 4.0)
+}
+
+fn str_value() -> impl Strategy<Value = String> {
+    "[ab]{0,4}".prop_map(|s| s)
+}
+
+fn num_op() -> impl Strategy<Value = NumOp> {
+    prop_oneof![
+        Just(NumOp::Eq),
+        Just(NumOp::Ne),
+        Just(NumOp::Lt),
+        Just(NumOp::Le),
+        Just(NumOp::Gt),
+        Just(NumOp::Ge),
+    ]
+}
+
+fn str_op() -> impl Strategy<Value = StrOp> {
+    prop_oneof![
+        Just(StrOp::Eq),
+        Just(StrOp::Ne),
+        Just(StrOp::Prefix),
+        Just(StrOp::Suffix),
+        Just(StrOp::Contains),
+    ]
+}
+
+/// One random constraint: attribute choice decides kind. The stock schema
+/// has string attributes {0: exchange, 1: symbol} and arithmetic
+/// attributes {2: when, 3: price, 4: volume, 5: high, 6: low}.
+#[derive(Debug, Clone)]
+enum RawConstraint {
+    Num(u16, NumOp, f64),
+    Str(u16, StrOp, String),
+}
+
+fn raw_constraint() -> impl Strategy<Value = RawConstraint> {
+    prop_oneof![
+        (2u16..7, num_op(), num_value()).prop_map(|(a, o, v)| RawConstraint::Num(a, o, v)),
+        (0u16..2, str_op(), str_value()).prop_map(|(a, o, v)| RawConstraint::Str(a, o, v)),
+    ]
+}
+
+fn build_sub(schema: &Schema, raw: &[RawConstraint]) -> Option<Subscription> {
+    let mut b = Subscription::builder(schema);
+    for c in raw {
+        b = match c {
+            RawConstraint::Num(a, o, v) => {
+                let name = &schema.spec(subsum_types::AttrId(*a)).name;
+                b.num(name, *o, *v).ok()?
+            }
+            RawConstraint::Str(a, o, v) => {
+                let name = &schema.spec(subsum_types::AttrId(*a)).name;
+                b.str_op(name, *o, v).ok()?
+            }
+        };
+    }
+    b.build().ok()
+}
+
+fn subscription() -> impl Strategy<Value = Vec<RawConstraint>> {
+    proptest::collection::vec(raw_constraint(), 1..5)
+}
+
+/// A random event covering a random subset of attributes.
+fn event_strategy() -> impl Strategy<Value = Vec<(u16, RawValue)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (2u16..7, num_value()).prop_map(|(a, v)| (a, RawValue::Num(v))),
+            (0u16..2, str_value()).prop_map(|(a, v)| (a, RawValue::Str(v))),
+        ],
+        0..7,
+    )
+}
+
+#[derive(Debug, Clone)]
+enum RawValue {
+    Num(f64),
+    Str(String),
+}
+
+fn build_event(schema: &Schema, raw: &[(u16, RawValue)]) -> Event {
+    let mut b = Event::builder(schema);
+    for (a, v) in raw {
+        let name = schema.spec(subsum_types::AttrId(*a)).name.clone();
+        b = match v {
+            RawValue::Num(x) => b.num(&name, *x).unwrap(),
+            RawValue::Str(s) => b.str(&name, s.clone()).unwrap(),
+        };
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fundamental guarantee: summary matching is a superset of exact
+    /// matching — no false negatives, ever.
+    #[test]
+    fn no_false_negatives(subs in proptest::collection::vec(subscription(), 1..8),
+                          events in proptest::collection::vec(event_strategy(), 1..8)) {
+        let schema = stock_schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        let mut exact: Vec<(SubscriptionId, Subscription)> = Vec::new();
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                let id = summary.insert(BrokerId(0), LocalSubId(i as u32), &sub);
+                exact.push((id, sub));
+            }
+        }
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let matched = summary.match_event(&event);
+            for (id, sub) in &exact {
+                if sub.matches(&event) {
+                    prop_assert!(
+                        matched.contains(id),
+                        "false negative: {sub} matches {event} but summary missed {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merging preserves the guarantee for subscriptions of all parties.
+    #[test]
+    fn merge_preserves_no_false_negatives(
+        subs_a in proptest::collection::vec(subscription(), 1..5),
+        subs_b in proptest::collection::vec(subscription(), 1..5),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let mut a = BrokerSummary::new(schema.clone());
+        let mut b = BrokerSummary::new(schema.clone());
+        let mut exact = Vec::new();
+        for (i, raw) in subs_a.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                let id = a.insert(BrokerId(1), LocalSubId(i as u32), &sub);
+                exact.push((id, sub));
+            }
+        }
+        for (i, raw) in subs_b.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                let id = b.insert(BrokerId(2), LocalSubId(i as u32), &sub);
+                exact.push((id, sub));
+            }
+        }
+        a.merge(&b);
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let matched = a.match_event(&event);
+            for (id, sub) in &exact {
+                if sub.matches(&event) {
+                    prop_assert!(matched.contains(id));
+                }
+            }
+        }
+    }
+
+    /// Removing unrelated subscriptions cannot create false negatives for
+    /// the ones that remain.
+    #[test]
+    fn removal_preserves_remaining(
+        subs in proptest::collection::vec(subscription(), 2..8),
+        remove_mask in proptest::collection::vec(any::<bool>(), 2..8),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        let mut all = Vec::new();
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                let id = summary.insert(BrokerId(0), LocalSubId(i as u32), &sub);
+                all.push((id, sub));
+            }
+        }
+        let mut remaining = Vec::new();
+        for (i, (id, sub)) in all.into_iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                summary.remove(id);
+            } else {
+                remaining.push((id, sub));
+            }
+        }
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let matched = summary.match_event(&event);
+            for (id, sub) in &remaining {
+                if sub.matches(&event) {
+                    prop_assert!(matched.contains(id));
+                }
+            }
+        }
+    }
+
+    /// Wire round-trip at 8-byte width is the identity, and the decoded
+    /// summary matches events identically.
+    #[test]
+    fn codec_roundtrip(subs in proptest::collection::vec(subscription(), 1..6),
+                       events in proptest::collection::vec(event_strategy(), 1..4)) {
+        let schema = stock_schema();
+        let layout = IdLayout::new(24, 1024, schema.len() as u32).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let mut summary = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                summary.insert(BrokerId((i % 24) as u16), LocalSubId(i as u32), &sub);
+            }
+        }
+        let bytes = codec.encode(&summary).unwrap();
+        let decoded = codec.decode(&bytes, &schema).unwrap();
+        prop_assert_eq!(&decoded, &summary);
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            prop_assert_eq!(decoded.match_event(&event), summary.match_event(&event));
+        }
+    }
+
+    /// Match results never contain ids that were not inserted, and every
+    /// reported id's mask is fully covered by the event's attributes.
+    #[test]
+    fn matches_are_known_ids(subs in proptest::collection::vec(subscription(), 1..6),
+                             raw_event in event_strategy()) {
+        let schema = stock_schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        let mut ids = Vec::new();
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                ids.push(summary.insert(BrokerId(0), LocalSubId(i as u32), &sub));
+            }
+        }
+        let event = build_event(&schema, &raw_event);
+        for id in summary.match_event(&event) {
+            prop_assert!(ids.contains(&id));
+            for attr in id.mask.iter() {
+                prop_assert!(event.get(attr).is_some(),
+                    "matched id {id} constrains {attr} absent from the event");
+            }
+        }
+    }
+
+    /// Events whose values satisfy no subscription yield empty results
+    /// when domains are disjoint.
+    #[test]
+    fn disjoint_domains_never_match(v in 100f64..200f64) {
+        let schema = stock_schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        let sub = Subscription::builder(&schema)
+            .num("price", NumOp::Lt, 50.0).unwrap()
+            .build().unwrap();
+        summary.insert(BrokerId(0), LocalSubId(0), &sub);
+        let event = Event::builder(&schema)
+            .set("price", Value::float(v).unwrap()).unwrap()
+            .build();
+        prop_assert!(summary.match_event(&event).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Cross-checks of the paper's analytical models (§5.1) against the
+//! implementation's measured quantities:
+//!
+//! * equations (1) + (2) — the analytic summary size — against the bytes
+//!   the wire codec actually produces;
+//! * the broadcast bandwidth formula against the simulated flooding cost.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum_core::{SizeParams, SummaryStats};
+use subsum_siena::{broadcast_cost, broadcast_cost_analytic};
+
+use crate::common::ResultTable;
+use crate::config::ExperimentConfig;
+use crate::fig8::build_own_summaries;
+
+/// Runs the model-vs-measurement analysis.
+pub fn run(cfg: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "analysis",
+        "analytic models vs measured implementation",
+        &[
+            "subsumption_pct",
+            "eq12_bytes",
+            "wire_bytes",
+            "wire_overhead_pct",
+            "broadcast_formula",
+            "broadcast_simulated",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let size_params = SizeParams::default();
+    let sigma = 200;
+
+    for &p in &cfg.subsumption_sweep {
+        let (own, codec) = build_own_summaries(cfg, p, sigma, &mut rng);
+        let analytic: usize = own
+            .iter()
+            .map(|s| SummaryStats::of(s).total_size(size_params))
+            .sum();
+        let measured: usize = own
+            .iter()
+            .map(|s| codec.encoded_len(s).expect("ids fit"))
+            .sum();
+        let overhead = 100.0 * (measured as f64 - analytic as f64) / analytic as f64;
+
+        let formula = broadcast_cost_analytic(&cfg.topology, sigma, cfg.params.sub_size);
+        let simulated = broadcast_cost(&cfg.topology, sigma, cfg.params.sub_size).bytes() as f64;
+
+        table.push(vec![
+            p * 100.0,
+            analytic as f64,
+            measured as f64,
+            overhead,
+            formula,
+            simulated,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_overhead_is_bounded() {
+        let t = run(&ExperimentConfig::fast());
+        for row in &t.rows {
+            let overhead = row[3];
+            assert!(
+                overhead > -1.0 && overhead < 120.0,
+                "wire overhead {overhead}% out of expected band"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_formula_matches_simulation() {
+        let t = run(&ExperimentConfig::fast());
+        for row in &t.rows {
+            assert!((row[4] - row[5]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn analytic_size_shrinks_with_subsumption() {
+        let cfg = ExperimentConfig {
+            subsumption_sweep: vec![0.10, 0.90],
+            ..ExperimentConfig::fast()
+        };
+        let t = run(&cfg);
+        let sizes = t.column_values("eq12_bytes");
+        assert!(sizes[1] < sizes[0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures from the command line.
+//!
+//! ```text
+//! repro [--fast] [--csv] [--out DIR]
+//!       [fig8|fig9|fig10|fig11|compute|analysis|vdeg|subsumption|filter|latency|scaling|all]
+//! ```
+
+use subsum_experiments::{
+    ablations, analysis, compute, fig10, fig11, fig8, fig9, latency, scaling,
+};
+use subsum_experiments::{ExperimentConfig, ResultTable};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv = args.iter().any(|a| a == "--csv");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let what = args
+        .iter()
+        .find(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let cfg = if fast {
+        ExperimentConfig::fast()
+    } else {
+        ExperimentConfig::default()
+    };
+
+    let tables: Vec<ResultTable> = match what.as_str() {
+        "fig8" => vec![fig8::run(&cfg)],
+        "fig9" => vec![fig9::run(&cfg)],
+        "fig10" => vec![fig10::run(&cfg)],
+        "fig11" => vec![fig11::run(&cfg)],
+        "compute" => vec![compute::run(&cfg)],
+        "analysis" => vec![analysis::run(&cfg)],
+        "vdeg" => vec![ablations::run_virtual_degrees(&cfg)],
+        "subsumption" => vec![ablations::run_subsumption_models(&cfg)],
+        "filter" => vec![ablations::run_subsumption_filter(&cfg)],
+        "latency" => vec![latency::run(&cfg)],
+        "scaling" => vec![scaling::run(&cfg)],
+        "all" => subsum_experiments::run_all(&cfg),
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of fig8 fig9 fig10 fig11 \
+                 compute analysis vdeg subsumption filter latency scaling all"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create `{dir}`: {e}");
+            std::process::exit(1);
+        }
+    }
+    for t in tables {
+        if csv {
+            println!("# {} — {}", t.name, t.caption);
+            print!("{}", t.to_csv());
+            println!();
+        } else {
+            println!("{t}");
+        }
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.csv", t.name));
+            if let Err(e) = std::fs::write(&path, t.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

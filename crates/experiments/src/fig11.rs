@@ -1,0 +1,131 @@
+//! Fig. 11 — total subscription storage across all brokers.
+//!
+//! With `S` outstanding subscriptions per broker fully propagated:
+//!
+//! * **Broadcast** stores every raw subscription at every broker
+//!   (`B² · S · 50` bytes);
+//! * **Siena** stores raw subscriptions wherever flooding delivered them
+//!   (approaching broadcast at low subsumption, as the paper notes);
+//! * **Summary** stores each broker's merged multi-broker summary,
+//!   sized by the paper's equations (1) + (2).
+//!
+//! The paper reports the summary approach 2–5× below Siena.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum_broker::propagate;
+use subsum_core::{SizeParams, SummaryStats};
+use subsum_siena::{broadcast_storage_bytes, propagate_probabilistic, SienaParams};
+
+use crate::common::ResultTable;
+use crate::config::ExperimentConfig;
+use crate::fig8::build_own_summaries;
+
+/// Runs the Fig. 11 experiment.
+pub fn run(cfg: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "fig11",
+        "total storage (bytes) across brokers vs outstanding subscriptions",
+        &[
+            "outstanding",
+            "broadcast",
+            "siena_p10",
+            "summary_p10",
+            "siena_p90",
+            "summary_p90",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let size_params = SizeParams {
+        arith_width: cfg.params.sst,
+        id_width: cfg.params.sst,
+    };
+
+    for &outstanding in &cfg.sigma_sweep {
+        let broadcast =
+            broadcast_storage_bytes(cfg.topology.len(), outstanding, cfg.params.sub_size) as f64;
+        let mut cells = vec![outstanding as f64, broadcast];
+        for &p in &[0.10, 0.90] {
+            let siena = propagate_probabilistic(
+                &cfg.topology,
+                outstanding,
+                SienaParams {
+                    subsumption_max: p,
+                    sub_size: cfg.params.sub_size,
+                },
+                &mut rng,
+            );
+            let (own, codec) = build_own_summaries(cfg, p, outstanding, &mut rng);
+            let outcome = propagate(&cfg.topology, &own, &codec).expect("ids fit");
+            let summary_storage: usize = outcome
+                .stored
+                .iter()
+                .map(|m| SummaryStats::of(&m.summary).total_size(size_params))
+                .sum();
+            cells.push(siena.storage_bytes(cfg.params.sub_size) as f64);
+            cells.push(summary_storage as f64);
+        }
+        table.push(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_storage_beats_siena() {
+        let cfg = ExperimentConfig {
+            sigma_sweep: vec![50, 200],
+            ..ExperimentConfig::fast()
+        };
+        let t = run(&cfg);
+        for row in &t.rows {
+            assert!(
+                row[3] < row[2],
+                "summary_p10 {} vs siena_p10 {}",
+                row[3],
+                row[2]
+            );
+            assert!(
+                row[5] < row[4],
+                "summary_p90 {} vs siena_p90 {}",
+                row[5],
+                row[4]
+            );
+        }
+    }
+
+    #[test]
+    fn siena_approaches_broadcast_at_low_subsumption() {
+        let cfg = ExperimentConfig {
+            sigma_sweep: vec![100],
+            ..ExperimentConfig::fast()
+        };
+        let t = run(&cfg);
+        let row = &t.rows[0];
+        // p = 10% prunes little: Siena within a small factor of broadcast.
+        assert!(
+            row[2] > row[1] * 0.5,
+            "siena {} vs broadcast {}",
+            row[2],
+            row[1]
+        );
+        assert!(row[2] <= row[1]);
+    }
+
+    #[test]
+    fn storage_grows_with_outstanding() {
+        let cfg = ExperimentConfig {
+            sigma_sweep: vec![10, 500],
+            ..ExperimentConfig::fast()
+        };
+        let t = run(&cfg);
+        for col in ["broadcast", "siena_p10", "summary_p10", "summary_p90"] {
+            let v = t.column_values(col);
+            assert!(v[1] > v[0], "{col} should grow with S");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 9 — mean hop counts for subscription propagation.
+//!
+//! Hops reflect the number of brokers involved: one hop per
+//! broker→broker message. Siena floods each broker's subscriptions over
+//! per-source spanning trees (up to `B·(B−1)` hops at subsumption 0%,
+//! i.e. 24·23 = 552 on the 24-node overlay), decreasing with the
+//! subsumption probability. The summary approach needs at most one send
+//! per broker per period regardless of subsumption — fewer hops than
+//! brokers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum_broker::propagate;
+use subsum_siena::{propagate_probabilistic, SienaParams};
+
+use crate::common::{mean, ResultTable};
+use crate::config::ExperimentConfig;
+use crate::fig8::build_own_summaries;
+
+/// Runs the Fig. 9 experiment.
+pub fn run(cfg: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "fig9",
+        "mean hops for subscription propagation vs subsumption probability",
+        &["subsumption_pct", "siena", "summary"],
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for &p in &cfg.subsumption_sweep {
+        // Siena: mean over trials of propagating one period with one new
+        // subscription per broker.
+        let siena_samples: Vec<f64> = (0..cfg.trials)
+            .map(|_| {
+                propagate_probabilistic(
+                    &cfg.topology,
+                    1,
+                    SienaParams {
+                        subsumption_max: p,
+                        sub_size: cfg.params.sub_size,
+                    },
+                    &mut rng,
+                )
+                .hops() as f64
+            })
+            .collect();
+
+        // Summary: Algorithm 2's schedule is content-independent; its hop
+        // count is a property of the topology.
+        let (own, codec) = build_own_summaries(cfg, p, 1, &mut rng);
+        let summary_hops = propagate(&cfg.topology, &own, &codec)
+            .expect("ids fit the layout")
+            .hops() as f64;
+
+        table.push(vec![p * 100.0, mean(&siena_samples), summary_hops]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_always_below_broker_count() {
+        let cfg = ExperimentConfig::fast();
+        let t = run(&cfg);
+        for v in t.column_values("summary") {
+            assert!(v <= cfg.topology.len() as f64);
+        }
+    }
+
+    #[test]
+    fn siena_hops_decrease_with_subsumption() {
+        let cfg = ExperimentConfig {
+            trials: 8,
+            ..ExperimentConfig::default()
+        };
+        let t = run(&cfg);
+        let siena = t.column_values("siena");
+        assert!(
+            siena.first().unwrap() > siena.last().unwrap(),
+            "siena hops should fall from p=10% to p=90%: {siena:?}"
+        );
+        // At p = 10% Siena approaches full flooding: hundreds of hops.
+        assert!(siena[0] > 250.0, "siena at 10%: {}", siena[0]);
+    }
+
+    #[test]
+    fn summary_beats_siena_everywhere() {
+        let t = run(&ExperimentConfig::fast());
+        for row in &t.rows {
+            assert!(
+                row[2] < row[1],
+                "summary {} should beat siena {} at p={}",
+                row[2],
+                row[1],
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn summary_hops_independent_of_subsumption() {
+        let t = run(&ExperimentConfig::fast());
+        let summary = t.column_values("summary");
+        assert!(summary.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,27 @@
+//! Broker overlay network substrate for the subscription-summarization
+//! reproduction.
+//!
+//! The paper evaluates its algorithms on broker overlays such as the
+//! 24-node US Cable & Wireless backbone (§5.2). This crate provides:
+//!
+//! * [`Topology`] — undirected connected overlays with the named instances
+//!   the experiments need (the Fig. 7 example tree, a 24-node backbone
+//!   model) and artificial families (lines, rings, stars, trees, grids,
+//!   random connected, Barabási–Albert), plus the graph algorithms the
+//!   propagation/routing layers build on (BFS distances, per-source
+//!   spanning trees, multicast subtree sizes);
+//! * [`NetMetrics`] — byte/message/hop accounting following the paper's
+//!   conventions (a hop is any broker→broker message);
+//! * [`EventQueue`] — a deterministic discrete-event queue that sequences
+//!   simulated message deliveries reproducibly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod metrics;
+mod sim;
+mod topology;
+
+pub use metrics::NetMetrics;
+pub use sim::EventQueue;
+pub use topology::{NodeId, Topology, TopologyError};

@@ -1,0 +1,171 @@
+//! A minimal deterministic discrete-event queue.
+//!
+//! The propagation and routing algorithms of the paper are round- or
+//! message-driven; [`EventQueue`] sequences their message deliveries
+//! deterministically: events pop in timestamp order, ties resolving in
+//! insertion (FIFO) order, so every simulation run is exactly
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped entry in the queue.
+#[derive(Debug)]
+struct Scheduled<M> {
+    time: u64,
+    seq: u64,
+    payload: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+///
+/// # Example
+///
+/// ```
+/// use subsum_net::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(5, "late");
+/// q.push(1, "early");
+/// q.push(5, "late-but-first-inserted-of-its-tick");
+/// assert_eq!(q.pop(), Some((1, "early")));
+/// assert_eq!(q.pop(), Some((5, "late")));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before the last popped event).
+    pub fn push(&mut self, time: u64, payload: M) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Schedules `payload` `delay` ticks after the current time.
+    pub fn push_after(&mut self, delay: u64, payload: M) {
+        self.push(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, M)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.payload))
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3, 'c');
+        q.push(1, 'a');
+        q.push(2, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, m)| m)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_within_a_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, m)| m)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.push_after(2, ());
+        assert_eq!(q.pop().unwrap().0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.pop();
+        q.push(3, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the overlay graph algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum_net::{EventQueue, Topology};
+
+fn random_topology(seed: u64, n: usize, extra: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Topology::random_connected(n.max(2), extra, &mut rng)
+}
+
+proptest! {
+    /// BFS distances are symmetric, zero on the diagonal and satisfy the
+    /// triangle inequality.
+    #[test]
+    fn distances_are_a_metric(seed in 0u64..1000, n in 2usize..30, extra in 0usize..10) {
+        let t = random_topology(seed, n, extra);
+        let d = t.all_pairs_distances();
+        let n = t.len();
+        for a in 0..n {
+            prop_assert_eq!(d[a][a], 0);
+            for b in 0..n {
+                prop_assert_eq!(d[a][b], d[b][a]);
+                for c in 0..n {
+                    prop_assert!(d[a][c] <= d[a][b] + d[b][c]);
+                }
+            }
+        }
+    }
+
+    /// Spanning-tree paths to the root have exactly the BFS length, and
+    /// every non-root node has a parent one hop closer to the root.
+    #[test]
+    fn spanning_tree_is_shortest(seed in 0u64..1000, n in 2usize..30,
+                                 extra in 0usize..10, root_pick in 0usize..30) {
+        let t = random_topology(seed, n, extra);
+        let root = (root_pick % t.len()) as u16;
+        let parent = t.shortest_path_tree(root);
+        let dist = t.distances(root);
+        for v in 0..t.len() as u16 {
+            let path = Topology::path_to_root(&parent, v);
+            prop_assert_eq!(path.len() as u32, dist[v as usize] + 1);
+            prop_assert_eq!(*path.last().unwrap(), root);
+            if let Some(p) = parent[v as usize] {
+                prop_assert_eq!(dist[p as usize] + 1, dist[v as usize]);
+                prop_assert!(t.neighbors(v).contains(&p));
+            } else {
+                prop_assert_eq!(v, root);
+            }
+        }
+    }
+
+    /// Multicast subtree size is bounded below by the farthest target and
+    /// above by both the sum of distances and the total edge budget.
+    #[test]
+    fn multicast_bounds(seed in 0u64..1000, n in 2usize..30,
+                        targets in proptest::collection::vec(0usize..30, 1..8)) {
+        let t = random_topology(seed, n, 3);
+        let root = 0u16;
+        let parent = t.shortest_path_tree(root);
+        let dist = t.distances(root);
+        let targets: Vec<u16> = targets.iter().map(|&x| (x % t.len()) as u16).collect();
+        let edges = Topology::multicast_edges(&parent, &targets);
+        let max_d = targets.iter().map(|&v| dist[v as usize]).max().unwrap() as usize;
+        let sum_d: usize = {
+            let mut uniq = targets.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            uniq.iter().map(|&v| dist[v as usize] as usize).sum()
+        };
+        prop_assert!(edges >= max_d);
+        prop_assert!(edges <= sum_d);
+        prop_assert!(edges < t.len());
+    }
+
+    /// The degree-descending order is genuinely sorted.
+    #[test]
+    fn degree_order_sorted(seed in 0u64..1000, n in 2usize..40) {
+        let t = random_topology(seed, n, n / 3);
+        let order = t.by_degree_desc();
+        prop_assert_eq!(order.len(), t.len());
+        for w in order.windows(2) {
+            let (a, b) = (t.degree(w[0]), t.degree(w[1]));
+            prop_assert!(a > b || (a == b && w[0] < w[1]));
+        }
+    }
+
+    /// The event queue is a stable priority queue.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u64..50, 1..60)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        while let Some(x) = q.pop() {
+            popped.push(x);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    /// Edge iteration is consistent with degrees.
+    #[test]
+    fn handshake_lemma(seed in 0u64..1000, n in 2usize..40) {
+        let t = random_topology(seed, n, n / 2);
+        let degree_sum: usize = (0..t.len() as u16).map(|v| t.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * t.edge_count());
+    }
+}

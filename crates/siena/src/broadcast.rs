@@ -1,0 +1,104 @@
+//! The subscription-broadcast baseline.
+//!
+//! The paper's weakest baseline simply has every broker send each of its
+//! subscriptions to every other broker, costing
+//! `(B − 1) × avg_hops × B × σ × sub_size` bytes per period (§5.2.1) —
+//! i.e. `B` sources unicast `σ` subscriptions of `sub_size` bytes to each
+//! of the `B − 1` destinations over shortest paths.
+
+use subsum_net::{NetMetrics, NodeId, Topology};
+
+/// The cost of one broadcast period.
+#[derive(Debug, Clone)]
+pub struct BroadcastCost {
+    /// Traffic counters (one message per (source, subscription,
+    /// destination), weighted by path length for link bytes).
+    pub metrics: NetMetrics,
+}
+
+impl BroadcastCost {
+    /// Total link bandwidth in bytes — the paper's Fig. 8 baseline curve.
+    pub fn bytes(&self) -> u64 {
+        self.metrics.link_bytes
+    }
+
+    /// Hop count (broker→broker messages).
+    pub fn hops(&self) -> u64 {
+        self.metrics.messages
+    }
+}
+
+/// Simulates one broadcast period: every broker unicasts `sigma`
+/// subscriptions of `sub_size` bytes to every other broker.
+pub fn broadcast_cost(topology: &Topology, sigma: usize, sub_size: usize) -> BroadcastCost {
+    let n = topology.len();
+    let mut metrics = NetMetrics::new(n);
+    for s in 0..n as NodeId {
+        let dist = topology.distances(s);
+        for t in 0..n as NodeId {
+            if s == t {
+                continue;
+            }
+            for _ in 0..sigma {
+                metrics.record(s, t, sub_size, dist[t as usize]);
+            }
+        }
+    }
+    BroadcastCost { metrics }
+}
+
+/// The paper's closed-form estimate of the broadcast bandwidth:
+/// `(B − 1) × avg_hops × B × σ × sub_size`.
+pub fn broadcast_cost_analytic(topology: &Topology, sigma: usize, sub_size: usize) -> f64 {
+    let b = topology.len() as f64;
+    (b - 1.0) * topology.mean_pairwise_distance() * b * sigma as f64 * sub_size as f64
+}
+
+/// Storage of the broadcast baseline: every broker stores every
+/// subscription of every broker (`B² × S × sub_size` bytes).
+pub fn broadcast_storage_bytes(brokers: usize, outstanding: usize, sub_size: usize) -> u64 {
+    (brokers as u64) * (brokers as u64) * outstanding as u64 * sub_size as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsum_net::Topology;
+
+    #[test]
+    fn simulated_matches_analytic() {
+        for topo in [
+            Topology::line(5),
+            Topology::fig7_tree(),
+            Topology::cable_wireless_24(),
+        ] {
+            let sim = broadcast_cost(&topo, 7, 50);
+            let analytic = broadcast_cost_analytic(&topo, 7, 50);
+            assert!(
+                (sim.bytes() as f64 - analytic).abs() < 1e-6,
+                "simulated {} vs analytic {analytic}",
+                sim.bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn hops_are_all_pairs_messages() {
+        let topo = Topology::ring(6);
+        let sim = broadcast_cost(&topo, 3, 50);
+        assert_eq!(sim.hops(), 6 * 5 * 3);
+    }
+
+    #[test]
+    fn storage_formula() {
+        assert_eq!(broadcast_storage_bytes(24, 1000, 50), 24 * 24 * 1000 * 50);
+    }
+
+    #[test]
+    fn zero_sigma_costs_nothing() {
+        let topo = Topology::line(3);
+        let sim = broadcast_cost(&topo, 0, 50);
+        assert_eq!(sim.bytes(), 0);
+        assert_eq!(sim.hops(), 0);
+    }
+}

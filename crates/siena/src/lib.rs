@@ -1,0 +1,29 @@
+//! Reconstructed baselines for the subscription-summarization evaluation:
+//! a Siena-style subsumption router and a subscription-broadcast flooder.
+//!
+//! The paper (§2.2, §5.2) compares its summary-centric approach against
+//! (a) the Siena notion of *subscription subsumption* — per-source
+//! spanning-tree subscription flooding pruned where a covering
+//! subscription has already traveled, with events following the reverse
+//! paths — and (b) a baseline where every broker broadcasts every
+//! subscription to all others. Siena's original implementation is not
+//! available; this crate reconstructs the two mechanisms the paper
+//! measures, in both the paper's *probabilistic* subsumption model
+//! (pruning probability `p_B = p_max · degree(B)/max_degree`) and a real
+//! *content-based* model built on `Subscription::covers`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod broadcast;
+mod propagation;
+mod routing;
+
+pub use broadcast::{
+    broadcast_cost, broadcast_cost_analytic, broadcast_storage_bytes, BroadcastCost,
+};
+pub use propagation::{
+    broker_subsumption_probability, propagate_content, propagate_probabilistic, SienaParams,
+    SienaPropagation,
+};
+pub use routing::{reverse_path_route, ReversePathRoute, SienaEventRouting};

@@ -1,0 +1,117 @@
+//! Error types for schema, value and identifier construction.
+
+use std::fmt;
+
+/// Errors produced while building or validating schemata, events,
+/// subscriptions and subscription identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// The attribute name is not defined in the schema.
+    UnknownAttribute(String),
+    /// An attribute was used with a value or operator of the wrong kind.
+    KindMismatch {
+        /// The attribute whose kind was violated.
+        attribute: String,
+        /// The kind declared in the schema.
+        expected: crate::AttrKind,
+    },
+    /// The same attribute name was declared twice in a schema.
+    DuplicateAttribute(String),
+    /// A schema exceeded the supported number of attributes (64, the width
+    /// of the `c3` attribute bit mask).
+    TooManyAttributes(usize),
+    /// A floating point value was NaN, which has no place in a total order.
+    NanValue,
+    /// A numeric identifier component does not fit in its configured bit
+    /// width (see [`IdLayout`](crate::IdLayout)).
+    IdOverflow {
+        /// Which component overflowed (`"c1"`, `"c2"` or `"c3"`).
+        component: &'static str,
+        /// The value that did not fit.
+        value: u64,
+        /// The configured width in bits.
+        bits: u32,
+    },
+    /// A subscription was built without any constraint.
+    EmptySubscription,
+    /// A string pattern was empty or otherwise malformed.
+    InvalidPattern(String),
+    /// A schema change was not an append-only extension of the current
+    /// schema (dynamic evolution only widens the attribute list).
+    NotAnExtension,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            TypeError::KindMismatch {
+                attribute,
+                expected,
+            } => write!(
+                f,
+                "attribute `{attribute}` has kind {expected}, which does not accept this value or operator"
+            ),
+            TypeError::DuplicateAttribute(name) => {
+                write!(f, "attribute `{name}` declared twice")
+            }
+            TypeError::TooManyAttributes(n) => {
+                write!(f, "schema declares {n} attributes, more than the supported 64")
+            }
+            TypeError::NanValue => write!(f, "value is NaN, which is not a valid attribute value"),
+            TypeError::IdOverflow {
+                component,
+                value,
+                bits,
+            } => write!(
+                f,
+                "id component {component} value {value} does not fit in {bits} bits"
+            ),
+            TypeError::EmptySubscription => {
+                write!(f, "subscription has no constraints")
+            }
+            TypeError::InvalidPattern(p) => write!(f, "invalid string pattern `{p}`"),
+            TypeError::NotAnExtension => {
+                write!(f, "new schema is not an append-only extension of the current one")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TypeError> = vec![
+            TypeError::UnknownAttribute("x".into()),
+            TypeError::DuplicateAttribute("x".into()),
+            TypeError::TooManyAttributes(65),
+            TypeError::NanValue,
+            TypeError::IdOverflow {
+                component: "c1",
+                value: 9,
+                bits: 3,
+            },
+            TypeError::EmptySubscription,
+            TypeError::InvalidPattern("".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

@@ -1,0 +1,443 @@
+//! A textual query language for subscriptions.
+//!
+//! The paper motivates content-based subscriptions with queries such as
+//! *"give me the price of stock A when the price of stock B is less than
+//! X"* (§2.1). This module provides the parser turning such filters into
+//! [`Subscription`]s:
+//!
+//! ```text
+//! symbol == "OTE" && price > 8.30 && price < 8.70 && exchange ~ "N*SE"
+//! source prefix "reuters" and headline contains "market"
+//! ```
+//!
+//! Grammar (conjunctions only, as in the paper's model):
+//!
+//! ```text
+//! subscription := predicate ( ("&&" | "and") predicate )*
+//! predicate    := IDENT op value
+//! op           := "==" | "=" | "!=" | "<" | "<=" | ">" | ">="
+//!               | "~" | "prefix" | "suffix" | "contains"
+//! value        := NUMBER | STRING    (single or double quoted)
+//! ```
+//!
+//! `~` takes a glob pattern (`N*SE`); `prefix`, `suffix` and `contains`
+//! are the paper's `>*`, `*<` and `*` string operators.
+
+use std::fmt;
+
+use crate::constraint::{NumOp, StrOp};
+use crate::error::TypeError;
+use crate::schema::Schema;
+use crate::subscription::{Subscription, SubscriptionBuilder};
+
+/// Errors from [`Subscription::parse_query`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// A lexical or grammatical problem at the given byte offset.
+    Syntax {
+        /// Byte offset into the query text.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query was well-formed but violated the schema (unknown
+    /// attribute, operator/kind mismatch, …).
+    Type(TypeError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax { position, message } => {
+                write!(f, "query syntax error at byte {position}: {message}")
+            }
+            QueryError::Type(e) => write!(f, "query type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<TypeError> for QueryError {
+    fn from(e: TypeError) -> Self {
+        QueryError::Type(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Op(&'static str),
+    And,
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { text, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Syntax {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.text.len() - trimmed.len();
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Token)>, QueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = self.rest();
+        let Some(c) = rest.chars().next() else {
+            return Ok(None);
+        };
+        // Multi-char operators first.
+        for op in ["&&", "==", "!=", "<=", ">="] {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                let tok = if op == "&&" {
+                    Token::And
+                } else {
+                    Token::Op(match op {
+                        "==" => "=",
+                        other => other,
+                    })
+                };
+                return Ok(Some((start, tok)));
+            }
+        }
+        match c {
+            '=' | '<' | '>' | '~' => {
+                self.pos += 1;
+                let op = match c {
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    _ => "~",
+                };
+                Ok(Some((start, Token::Op(op))))
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let body = &rest[1..];
+                match body.find(quote) {
+                    Some(end) => {
+                        let value = body[..end].to_owned();
+                        self.pos += end + 2;
+                        Ok(Some((start, Token::Str(value))))
+                    }
+                    None => Err(self.error("unterminated string literal")),
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let len = rest
+                    .char_indices()
+                    .take_while(|&(i, ch)| {
+                        ch.is_ascii_digit()
+                            || ch == '.'
+                            || ch == 'e'
+                            || ch == 'E'
+                            || ((ch == '-' || ch == '+')
+                                && (i == 0 || matches!(rest.as_bytes()[i - 1], b'e' | b'E')))
+                    })
+                    .map(|(i, ch)| i + ch.len_utf8())
+                    .last()
+                    .unwrap_or(0);
+                let raw = &rest[..len];
+                let value: f64 = raw
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid number `{raw}`")))?;
+                self.pos += len;
+                Ok(Some((start, Token::Number(value))))
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let len = rest
+                    .char_indices()
+                    .take_while(|&(_, ch)| ch.is_alphanumeric() || ch == '_')
+                    .map(|(i, ch)| i + ch.len_utf8())
+                    .last()
+                    .unwrap_or(0);
+                let word = &rest[..len];
+                self.pos += len;
+                let tok = match word {
+                    "and" | "AND" => Token::And,
+                    "prefix" => Token::Op("prefix"),
+                    "suffix" => Token::Op("suffix"),
+                    "contains" => Token::Op("contains"),
+                    _ => Token::Ident(word.to_owned()),
+                };
+                Ok(Some((start, tok)))
+            }
+            other => Err(self.error(format!("unexpected character `{other}`"))),
+        }
+    }
+}
+
+/// Parses a query into a subscription over `schema`; the entry point is
+/// [`Subscription::parse_query`].
+pub fn parse_query(schema: &Schema, text: &str) -> Result<Subscription, QueryError> {
+    let mut lexer = Lexer::new(text);
+    let mut tokens: Vec<(usize, Token)> = Vec::new();
+    while let Some(t) = lexer.next()? {
+        tokens.push(t);
+    }
+    if tokens.is_empty() {
+        return Err(QueryError::Syntax {
+            position: 0,
+            message: "empty query".into(),
+        });
+    }
+
+    let mut builder = Subscription::builder(schema);
+    let mut i = 0;
+    loop {
+        builder = parse_predicate(schema, builder, &tokens, &mut i)?;
+        match tokens.get(i) {
+            None => break,
+            Some((_, Token::And)) => {
+                i += 1;
+            }
+            Some((pos, tok)) => {
+                return Err(QueryError::Syntax {
+                    position: *pos,
+                    message: format!("expected `&&` between predicates, found {tok:?}"),
+                })
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn parse_predicate<'a>(
+    _schema: &Schema,
+    builder: SubscriptionBuilder<'a>,
+    tokens: &[(usize, Token)],
+    i: &mut usize,
+) -> Result<SubscriptionBuilder<'a>, QueryError> {
+    let (pos, attr) = match tokens.get(*i) {
+        Some((p, Token::Ident(name))) => (*p, name.clone()),
+        Some((p, tok)) => {
+            return Err(QueryError::Syntax {
+                position: *p,
+                message: format!("expected an attribute name, found {tok:?}"),
+            })
+        }
+        None => {
+            return Err(QueryError::Syntax {
+                position: 0,
+                message: "expected an attribute name".into(),
+            })
+        }
+    };
+    *i += 1;
+    let op = match tokens.get(*i) {
+        Some((_, Token::Op(op))) => *op,
+        Some((p, tok)) => {
+            return Err(QueryError::Syntax {
+                position: *p,
+                message: format!("expected an operator after `{attr}`, found {tok:?}"),
+            })
+        }
+        None => {
+            return Err(QueryError::Syntax {
+                position: pos,
+                message: format!("expected an operator after `{attr}`"),
+            })
+        }
+    };
+    *i += 1;
+    let value = tokens.get(*i).cloned();
+    *i += 1;
+    match (op, value) {
+        ("=", Some((_, Token::Number(v)))) => Ok(builder.num(&attr, NumOp::Eq, v)?),
+        ("!=", Some((_, Token::Number(v)))) => Ok(builder.num(&attr, NumOp::Ne, v)?),
+        ("<", Some((_, Token::Number(v)))) => Ok(builder.num(&attr, NumOp::Lt, v)?),
+        ("<=", Some((_, Token::Number(v)))) => Ok(builder.num(&attr, NumOp::Le, v)?),
+        (">", Some((_, Token::Number(v)))) => Ok(builder.num(&attr, NumOp::Gt, v)?),
+        (">=", Some((_, Token::Number(v)))) => Ok(builder.num(&attr, NumOp::Ge, v)?),
+        ("=", Some((_, Token::Str(v)))) => Ok(builder.str_op(&attr, StrOp::Eq, &v)?),
+        ("!=", Some((_, Token::Str(v)))) => Ok(builder.str_op(&attr, StrOp::Ne, &v)?),
+        ("~", Some((_, Token::Str(v)))) => Ok(builder.str_op(&attr, StrOp::Pattern, &v)?),
+        ("prefix", Some((_, Token::Str(v)))) => Ok(builder.str_op(&attr, StrOp::Prefix, &v)?),
+        ("suffix", Some((_, Token::Str(v)))) => Ok(builder.str_op(&attr, StrOp::Suffix, &v)?),
+        ("contains", Some((_, Token::Str(v)))) => Ok(builder.str_op(&attr, StrOp::Contains, &v)?),
+        (op, Some((p, tok))) => Err(QueryError::Syntax {
+            position: p,
+            message: format!("operator `{op}` cannot take {tok:?}"),
+        }),
+        (op, None) => Err(QueryError::Syntax {
+            position: pos,
+            message: format!("missing value after `{attr} {op}`"),
+        }),
+    }
+}
+
+impl Subscription {
+    /// Parses a textual query into a subscription; see the
+    /// [module docs](crate::parse) for the grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Syntax`] for malformed text and
+    /// [`QueryError::Type`] for schema violations.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use subsum_types::{stock_schema, Subscription, Event};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let schema = stock_schema();
+    /// let sub = Subscription::parse_query(
+    ///     &schema,
+    ///     r#"symbol == "OTE" && price > 8.30 && price < 8.70"#,
+    /// )?;
+    /// let event = Event::builder(&schema)
+    ///     .str("symbol", "OTE")?
+    ///     .num("price", 8.40)?
+    ///     .build();
+    /// assert!(sub.matches(&event));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse_query(schema: &Schema, text: &str) -> Result<Subscription, QueryError> {
+        parse_query(schema, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Predicate;
+    use crate::schema::stock_schema;
+
+    fn parse(text: &str) -> Result<Subscription, QueryError> {
+        Subscription::parse_query(&stock_schema(), text)
+    }
+
+    #[test]
+    fn parses_paper_fig3_subscription_one() {
+        let sub = parse(r#"exchange ~ "N*SE" && symbol == "OTE" && price < 8.70 && price > 8.30"#)
+            .unwrap();
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.attr_mask().count(), 3);
+    }
+
+    #[test]
+    fn parses_paper_fig3_subscription_two() {
+        let sub = parse(r#"symbol prefix "OT" && price = 8.20 && volume > 130000 && low < 8.05"#)
+            .unwrap();
+        assert_eq!(sub.len(), 4);
+    }
+
+    #[test]
+    fn and_keyword_and_single_quotes() {
+        let sub = parse("symbol = 'OTE' and price >= 8.0 and price <= 9.0").unwrap();
+        assert_eq!(sub.len(), 3);
+    }
+
+    #[test]
+    fn string_operators() {
+        let sub =
+            parse(r#"exchange suffix "SE" && symbol contains "T" && exchange != "ASE""#).unwrap();
+        let preds: Vec<_> = sub.constraints().iter().map(|c| &c.pred).collect();
+        assert!(matches!(preds[0], Predicate::Str(p) if p.to_string() == "*SE"));
+        assert!(matches!(preds[1], Predicate::Str(p) if p.to_string() == "*T*"));
+        assert!(matches!(preds[2], Predicate::StrNe(s) if s == "ASE"));
+    }
+
+    #[test]
+    fn numbers_with_signs_and_exponents() {
+        let sub = parse("price > -1.5 && volume < 2e5 && high >= +0.25").unwrap();
+        assert_eq!(sub.len(), 3);
+    }
+
+    #[test]
+    fn equivalent_to_builder_output() {
+        let schema = stock_schema();
+        let parsed = parse(r#"symbol == "OTE" && price < 8.70"#).unwrap();
+        let built = Subscription::builder(&schema)
+            .str_op("symbol", StrOp::Eq, "OTE")
+            .unwrap()
+            .num("price", NumOp::Lt, 8.70)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn syntax_errors_are_positioned() {
+        let err = parse("price <");
+        assert!(matches!(err, Err(QueryError::Syntax { .. })), "{err:?}");
+        let err = parse("&& price < 1");
+        assert!(matches!(err, Err(QueryError::Syntax { .. })));
+        let err = parse(r#"price < 1 symbol = "x""#);
+        assert!(matches!(err, Err(QueryError::Syntax { .. })));
+        let err = parse("price @ 3");
+        assert!(matches!(err, Err(QueryError::Syntax { .. })));
+        let err = parse(r#"symbol = "unterminated"#);
+        assert!(matches!(err, Err(QueryError::Syntax { .. })));
+        let err = parse("");
+        assert!(matches!(err, Err(QueryError::Syntax { .. })));
+    }
+
+    #[test]
+    fn type_errors_pass_through() {
+        let err = parse("nonexistent > 1").unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Type(TypeError::UnknownAttribute(_))
+        ));
+        // String operator on an arithmetic attribute.
+        let err = parse(r#"price prefix "x""#).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Type(TypeError::KindMismatch { .. })
+        ));
+        // Number compared to a string attribute.
+        let err = parse("symbol < 5").unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Type(TypeError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_operator_value_kinds_rejected() {
+        let err = parse(r#"price ~ 5"#).unwrap_err();
+        assert!(matches!(err, QueryError::Syntax { .. }));
+        let err = parse(r#"volume contains 5"#).unwrap_err();
+        assert!(matches!(err, QueryError::Syntax { .. }));
+    }
+
+    #[test]
+    fn whitespace_flexibility() {
+        let a = parse("price<8.7&&symbol='OTE'").unwrap();
+        let b = parse("  price  <  8.7  &&  symbol  =  'OTE'  ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let err = parse("price <").unwrap_err();
+        assert!(err.to_string().contains("syntax error"));
+        let err = parse("nope > 1").unwrap_err();
+        assert!(err.to_string().contains("type error"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Popularity-controlled interest workloads for the event-routing
+//! experiment (Fig. 10).
+//!
+//! The paper measures event-routing hops "for varying event popularities,
+//! which captures the number of brokers that match the event; the
+//! 'matched' brokers are randomly chosen for every event" (§5.2.2). To
+//! realize an event that matches an *exact, arbitrary* set of brokers
+//! with real content-based matching, each broker `b` registers an
+//! interest subscription `tag ∋ "<b{b}>"` (string containment), and an
+//! event targeting brokers `{3, 7}` carries `tag = "<b3><b7>"`. The
+//! angle-bracket delimiters make markers prefix-free, so `<b1>` never
+//! fires on `<b12>`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use subsum_net::NodeId;
+use subsum_types::{AttrKind, Event, Schema, StrOp, Subscription};
+
+/// The single-attribute schema of the popularity workload.
+pub fn interest_schema() -> Schema {
+    Schema::builder()
+        .attr("tag", AttrKind::String)
+        .expect("valid schema")
+        .build()
+}
+
+/// The marker string identifying broker `b` inside event tags.
+pub fn marker(broker: NodeId) -> String {
+    format!("<b{broker}>")
+}
+
+/// Broker `b`'s interest subscription: `tag` contains `<b{b}>`.
+pub fn interest_subscription(schema: &Schema, broker: NodeId) -> Subscription {
+    Subscription::builder(schema)
+        .str_op("tag", StrOp::Contains, &marker(broker))
+        .expect("tag attribute exists")
+        .build()
+        .expect("non-empty subscription")
+}
+
+/// An event matching exactly the brokers in `matched` (sorted markers,
+/// so equal sets produce equal events).
+pub fn event_for(schema: &Schema, matched: &[NodeId]) -> Event {
+    let mut sorted: Vec<NodeId> = matched.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let tag: String = sorted.iter().map(|&b| marker(b)).collect();
+    Event::builder(schema)
+        .str("tag", tag)
+        .expect("tag attribute exists")
+        .build()
+}
+
+/// Draws a random set of `⌈popularity · brokers⌉` matched brokers.
+pub fn random_matched_set<R: Rng>(brokers: usize, popularity: f64, rng: &mut R) -> Vec<NodeId> {
+    let count = ((brokers as f64 * popularity).round() as usize).clamp(1, brokers);
+    let mut all: Vec<NodeId> = (0..brokers as NodeId).collect();
+    all.shuffle(rng);
+    all.truncate(count);
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn event_matches_exactly_the_target_set() {
+        let schema = interest_schema();
+        let subs: Vec<Subscription> = (0..24).map(|b| interest_subscription(&schema, b)).collect();
+        let matched = vec![3, 7, 12];
+        let event = event_for(&schema, &matched);
+        for (b, sub) in subs.iter().enumerate() {
+            assert_eq!(
+                sub.matches(&event),
+                matched.contains(&(b as NodeId)),
+                "broker {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn markers_are_prefix_free() {
+        let schema = interest_schema();
+        // <b1> must not fire on an event targeting broker 12 (or 21).
+        let event = event_for(&schema, &[12, 21]);
+        assert!(!interest_subscription(&schema, 1).matches(&event));
+        assert!(!interest_subscription(&schema, 2).matches(&event));
+        assert!(interest_subscription(&schema, 12).matches(&event));
+        assert!(interest_subscription(&schema, 21).matches(&event));
+    }
+
+    #[test]
+    fn random_set_size_tracks_popularity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (pop, expect) in [(0.10, 2usize), (0.50, 12), (0.90, 22)] {
+            let set = random_matched_set(24, pop, &mut rng);
+            assert_eq!(set.len(), expect, "popularity {pop}");
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+
+    #[test]
+    fn popularity_extremes_clamped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(random_matched_set(24, 0.0, &mut rng).len(), 1);
+        assert_eq!(random_matched_set(24, 1.0, &mut rng).len(), 24);
+    }
+}

@@ -1,0 +1,154 @@
+//! A realistic stock-quote workload over the paper's example schema
+//! (Fig. 2), used by the runnable examples.
+
+use rand::Rng;
+
+use subsum_types::{stock_schema, Event, NumOp, Schema, StrOp, Subscription};
+
+use crate::zipf::Zipf;
+
+/// Ticker symbols of the simulated market (popularity follows a Zipf
+/// distribution, most-traded first).
+pub const SYMBOLS: [&str; 12] = [
+    "OTE", "IBM", "MSFT", "AAPL", "NOK", "SUN", "HPQ", "ORCL", "CSCO", "INTC", "DELL", "SAP",
+];
+
+/// Exchanges quoted by the feed.
+pub const EXCHANGES: [&str; 3] = ["NYSE", "NASDAQ", "ASE"];
+
+/// A simulated market data feed.
+#[derive(Debug)]
+pub struct StockFeed {
+    schema: Schema,
+    symbol_popularity: Zipf,
+    /// Last traded price per symbol.
+    prices: Vec<f64>,
+    clock: i64,
+}
+
+impl StockFeed {
+    /// Creates a feed over the paper's stock schema.
+    pub fn new() -> Self {
+        StockFeed {
+            schema: stock_schema(),
+            symbol_popularity: Zipf::new(SYMBOLS.len(), 0.9),
+            prices: (0..SYMBOLS.len()).map(|k| 8.0 + k as f64 * 3.5).collect(),
+            clock: 1_057_055_125, // the paper's example timestamp
+        }
+    }
+
+    /// The stock schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Produces the next quote event: a Zipf-popular symbol with a small
+    /// random walk on its price.
+    pub fn quote<R: Rng>(&mut self, rng: &mut R) -> Event {
+        let k = self.symbol_popularity.sample(rng);
+        let step = (rng.gen::<f64>() - 0.5) * 0.5;
+        self.prices[k] = (self.prices[k] + step).max(0.25);
+        let price = (self.prices[k] * 100.0).round() / 100.0;
+        self.clock += rng.gen_range(1..30);
+        let volume = rng.gen_range(1_000..500_000);
+        Event::builder(&self.schema)
+            .str("exchange", EXCHANGES[k % EXCHANGES.len()])
+            .and_then(|b| b.str("symbol", SYMBOLS[k]))
+            .and_then(|b| b.date("when", self.clock))
+            .and_then(|b| b.num("price", price))
+            .and_then(|b| b.int("volume", volume))
+            .and_then(|b| b.num("high", price + 0.40))
+            .and_then(|b| b.num("low", (price - 0.35).max(0.01)))
+            .expect("stock schema accepts quote fields")
+            .build()
+    }
+
+    /// A random trader subscription: symbol interest plus a price band
+    /// and sometimes a volume floor — the kind of filter the paper's
+    /// Fig. 3 shows.
+    pub fn trader_subscription<R: Rng>(&self, rng: &mut R) -> Subscription {
+        let k = self.symbol_popularity.sample(rng);
+        let anchor = self.prices[k];
+        let lo = (anchor * (0.85 + rng.gen::<f64>() * 0.1) * 100.0).round() / 100.0;
+        let hi = (anchor * (1.05 + rng.gen::<f64>() * 0.1) * 100.0).round() / 100.0;
+        let mut b = Subscription::builder(&self.schema)
+            .str_op("symbol", StrOp::Eq, SYMBOLS[k])
+            .and_then(|b| b.num("price", NumOp::Gt, lo))
+            .and_then(|b| b.num("price", NumOp::Lt, hi))
+            .expect("stock schema accepts trader constraints");
+        if rng.gen::<f64>() < 0.3 {
+            b = b
+                .num("volume", NumOp::Gt, rng.gen_range(50_000..200_000) as f64)
+                .expect("volume constraint");
+        }
+        if rng.gen::<f64>() < 0.2 {
+            b = b
+                .str_op("exchange", StrOp::Prefix, "N")
+                .expect("exchange constraint");
+        }
+        b.build().expect("non-empty subscription")
+    }
+}
+
+impl Default for StockFeed {
+    fn default() -> Self {
+        StockFeed::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quotes_are_well_formed() {
+        let mut feed = StockFeed::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let q = feed.quote(&mut rng);
+            assert_eq!(q.len(), 7);
+        }
+    }
+
+    #[test]
+    fn popular_symbols_dominate() {
+        let mut feed = StockFeed::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let schema = feed.schema().clone();
+        let symbol = schema.attr_id("symbol").unwrap();
+        let mut ote = 0;
+        for _ in 0..2000 {
+            let q = feed.quote(&mut rng);
+            if q.get(symbol).and_then(|v| v.as_str()) == Some("OTE") {
+                ote += 1;
+            }
+        }
+        assert!(ote > 2000 / SYMBOLS.len(), "OTE quotes: {ote}");
+    }
+
+    #[test]
+    fn trader_subscriptions_eventually_match_quotes() {
+        let mut feed = StockFeed::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let subs: Vec<Subscription> = (0..50)
+            .map(|_| feed.trader_subscription(&mut rng))
+            .collect();
+        let mut hits = 0;
+        for _ in 0..500 {
+            let q = feed.quote(&mut rng);
+            hits += subs.iter().filter(|s| s.matches(&q)).count();
+        }
+        assert!(hits > 0, "a realistic feed must trigger some traders");
+    }
+
+    #[test]
+    fn subscriptions_are_satisfiable() {
+        let feed = StockFeed::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(feed.trader_subscription(&mut rng).is_satisfiable());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! A Zipf-distributed sampler over ranks `0..n`.
+//!
+//! Used to skew value popularity in workloads (popular stock symbols,
+//! hot attribute values). Implemented with a precomputed cumulative
+//! distribution and binary search, so sampling is `O(log n)`.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over `n` ranks; rank 0 is the most popular.
+///
+/// # Example
+///
+/// ```
+/// use subsum_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n ≥ 1` ranks with exponent `alpha ≥ 0`
+    /// (`alpha = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if there are no ranks (unreachable through `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_low_ranks() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 should dominate strongly at α = 1.2.
+        assert!(counts[0] as f64 / 50_000.0 > 0.15);
+    }
+
+    #[test]
+    fn single_rank() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let zipf = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! A news-alert scenario showcasing the string-pattern machinery: SACS
+//! covering (`m*t` standing in for `microsoft`), generalization-induced
+//! false positives, and the home broker's exact verification filtering
+//! them out before any consumer is notified.
+//!
+//! Run with: `cargo run --example news_alerts`
+
+use subsum::broker::SummaryPubSub;
+use subsum::core::SummaryStats;
+use subsum::net::Topology;
+use subsum::types::{AttrKind, Event, Schema, StrOp, Subscription};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::builder()
+        .attr("topic", AttrKind::String)?
+        .attr("source", AttrKind::String)?
+        .attr("headline", AttrKind::String)?
+        .build();
+    let mut system = SummaryPubSub::new(Topology::fig7_tree(), schema.clone(), 100)?;
+
+    // Broker 2 hosts three tech watchers.
+    let exact_ms = Subscription::builder(&schema)
+        .str_op("topic", StrOp::Eq, "microsoft")?
+        .build()?;
+    let exact_mn = Subscription::builder(&schema)
+        .str_op("topic", StrOp::Eq, "micronet")?
+        .build()?;
+    let glob = Subscription::builder(&schema)
+        .str_pattern("topic", "m*t")?
+        .build()?;
+    let id_ms = system.subscribe(2, &exact_ms)?;
+    let id_mn = system.subscribe(2, &exact_mn)?;
+    let id_glob = system.subscribe(2, &glob)?;
+
+    // Broker 9 watches anything from wire services (prefix) about
+    // markets (containment).
+    let wires = Subscription::builder(&schema)
+        .str_op("source", StrOp::Prefix, "reuters")?
+        .str_op("headline", StrOp::Contains, "market")?
+        .build()?;
+    let id_wires = system.subscribe(9, &wires)?;
+
+    let outcome = system.propagate()?;
+    println!("propagation: {} hops", outcome.hops());
+
+    // The glob `m*t` covers both exact topics: broker 2's SACS for
+    // `topic` collapses to a single generalized row.
+    let own = &outcome.stored[2].summary;
+    let stats = SummaryStats::of(own);
+    println!(
+        "broker 2 summary: {} string rows for {} subscriptions",
+        stats.pattern_rows,
+        own.subscription_count()
+    );
+
+    // Publish: a microsoft story — all three watchers at broker 2 match.
+    let story = Event::builder(&schema)
+        .str("topic", "microsoft")?
+        .str("source", "reuters-europe")?
+        .str("headline", "market reacts to earnings")?
+        .build();
+    let out = system.publish(12, &story);
+    let mut ids: Vec<_> = out.deliveries.iter().map(|d| d.id).collect();
+    ids.sort();
+    println!("microsoft story delivered to {ids:?}");
+    assert_eq!(ids, {
+        let mut v = vec![id_ms, id_glob, id_wires];
+        v.sort();
+        v
+    });
+
+    // Publish: a "mattel" story — the generalized row `m*t` flags all
+    // three candidates at remote brokers, but broker 2's exact store
+    // rejects the two equality watchers (false positives).
+    let story = Event::builder(&schema).str("topic", "mat")?.build();
+    let out = system.publish(12, &story);
+    let delivered: Vec<_> = out.deliveries.iter().map(|d| d.id).collect();
+    println!(
+        "'mat' story: delivered {:?}, filtered {} false positives",
+        delivered,
+        out.false_positives.len()
+    );
+    assert_eq!(delivered, vec![id_glob]);
+    assert!(out.false_positives.contains(&id_ms));
+    assert!(out.false_positives.contains(&id_mn));
+    let _ = id_mn;
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Regenerates a reduced version of every figure in the paper's
+//! evaluation (§5) and prints the tables — the same engine the full
+//! benchmark harness drives, at example-friendly sizes.
+//!
+//! Run with: `cargo run --release --example paper_figures`
+
+use subsum::experiments::{run_all, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::fast();
+    println!(
+        "overlay: {} brokers, {} links, max degree {}\n",
+        cfg.topology.len(),
+        cfg.topology.edge_count(),
+        cfg.topology.max_degree()
+    );
+    for table in run_all(&cfg) {
+        println!("{table}");
+    }
+    println!("full-size runs: cargo run --release -p subsum-experiments --bin repro -- all");
+}

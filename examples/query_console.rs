@@ -1,0 +1,73 @@
+//! A query console: subscriptions written in the textual query language,
+//! matched live against a simulated market feed.
+//!
+//! Run with a query:
+//!
+//! ```text
+//! cargo run --example query_console -- 'symbol = "OTE" && price < 9.0'
+//! ```
+//!
+//! or without arguments to use a set of demo queries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum::broker::SummaryPubSub;
+use subsum::net::Topology;
+use subsum::types::Subscription;
+use subsum::workload::StockFeed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut feed = StockFeed::new();
+    let schema = feed.schema().clone();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        [
+            r#"symbol = "OTE" && price < 9.0"#,
+            r#"exchange ~ "N*SE" && volume > 250000"#,
+            r#"symbol prefix "I" && price > 10.0"#,
+            r#"high >= 20.0 and low <= 19.0"#,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+
+    let mut system = SummaryPubSub::new(Topology::cable_wireless_24(), schema.clone(), 1000)?;
+    let mut registered = Vec::new();
+    for (k, q) in queries.iter().enumerate() {
+        match Subscription::parse_query(&schema, q) {
+            Ok(sub) => {
+                let broker = (k % 24) as u16;
+                let id = system.subscribe(broker, &sub)?;
+                println!("[{id}] @broker {broker}: {q}");
+                registered.push((id, q.clone()));
+            }
+            Err(e) => {
+                eprintln!("rejected `{q}`: {e}");
+            }
+        }
+    }
+    if registered.is_empty() {
+        return Err("no valid queries".into());
+    }
+    system.propagate()?;
+
+    println!("\n--- feed ---");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut hits = 0;
+    for k in 0..300 {
+        let quote = feed.quote(&mut rng);
+        let out = system.publish((k % 24) as u16, &quote);
+        for d in &out.deliveries {
+            let q = &registered.iter().find(|(id, _)| *id == d.id).unwrap().1;
+            println!("match [{}] {quote}\n      by: {q}", d.id);
+            hits += 1;
+        }
+    }
+    println!("--- {hits} matches over 300 quotes ---");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: a 13-broker overlay (the paper's Fig. 7 tree), one
+//! subscription, one event — showing summary propagation, BROCLI event
+//! routing and two-tier delivery.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use subsum::broker::SummaryPubSub;
+use subsum::net::Topology;
+use subsum::types::{stock_schema, Event, NumOp, StrOp, Subscription};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The exact 13-broker tree from the paper's worked example (§4.2).
+    let topology = Topology::fig7_tree();
+    let schema = stock_schema();
+    let mut system = SummaryPubSub::new(topology, schema.clone(), 1000)?;
+
+    // A consumer at broker 4 (paper's broker 5's neighbor) wants OTE
+    // trades in a tight price band — the paper's Fig. 3 subscription.
+    let sub = Subscription::builder(&schema)
+        .str_pattern("exchange", "N*SE")?
+        .str_op("symbol", StrOp::Eq, "OTE")?
+        .num("price", NumOp::Lt, 8.70)?
+        .num("price", NumOp::Gt, 8.30)?
+        .build()?;
+    let id = system.subscribe(3, &sub)?;
+    println!("subscribed {id} at broker 3: {sub}");
+
+    // Propagate subscription summaries (Algorithm 2).
+    let outcome = system.propagate()?;
+    println!(
+        "propagation: {} hops, {} bytes",
+        outcome.hops(),
+        outcome.metrics.payload_bytes
+    );
+    for send in &outcome.sends {
+        println!(
+            "  iteration {}: broker {} -> broker {} ({} bytes)",
+            send.iteration, send.from, send.to, send.bytes
+        );
+    }
+
+    // A producer at broker 0 publishes the paper's Fig. 2 event.
+    let event = Event::builder(&schema)
+        .str("exchange", "NYSE")?
+        .str("symbol", "OTE")?
+        .date("when", 1_057_055_125)?
+        .num("price", 8.40)?
+        .int("volume", 132_700)?
+        .num("high", 8.80)?
+        .num("low", 8.22)?
+        .build();
+    let out = system.publish(0, &event);
+
+    println!("event routed via brokers {:?}", out.routing.visits);
+    println!(
+        "hops: {} forwards + {} notifications",
+        out.routing.forward_hops, out.routing.notify_hops
+    );
+    for d in &out.deliveries {
+        println!("delivered to subscription {} at broker {}", d.id, d.owner);
+    }
+    assert_eq!(out.deliveries.len(), 1, "exactly our subscription matches");
+    Ok(())
+}

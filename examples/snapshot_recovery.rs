@@ -1,0 +1,51 @@
+//! Crash-recovery demo: persist the broker state to disk, "restart", and
+//! continue serving the same subscriptions.
+//!
+//! Run with: `cargo run --example snapshot_recovery`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum::broker::SummaryPubSub;
+use subsum::net::Topology;
+use subsum::workload::StockFeed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut feed = StockFeed::new();
+    let schema = feed.schema().clone();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // A running deployment with live subscriptions.
+    let mut system = SummaryPubSub::new(Topology::cable_wireless_24(), schema.clone(), 1000)?;
+    for b in 0..24u16 {
+        for _ in 0..3 {
+            system.subscribe(b, &feed.trader_subscription(&mut rng))?;
+        }
+    }
+    system.propagate()?;
+    println!("running: {} subscriptions", system.subscription_count());
+
+    // Persist the durable state.
+    let path = std::env::temp_dir().join("subsum_snapshot.bin");
+    let snapshot = system.to_snapshot();
+    std::fs::write(&path, &snapshot)?;
+    println!("snapshot: {} bytes -> {}", snapshot.len(), path.display());
+
+    // "Crash" — drop the system — then restore and re-propagate.
+    drop(system);
+    let bytes = std::fs::read(&path)?;
+    let mut restored = SummaryPubSub::from_snapshot(&bytes)?;
+    restored.propagate()?;
+    println!("restored: {} subscriptions", restored.subscription_count());
+
+    // Service continues: quotes keep matching the persisted traders.
+    let mut deliveries = 0;
+    for k in 0..100 {
+        let quote = feed.quote(&mut rng);
+        deliveries += restored.publish((k % 24) as u16, &quote).deliveries.len();
+    }
+    println!("post-recovery: {deliveries} deliveries over 100 quotes");
+    assert!(deliveries > 0);
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

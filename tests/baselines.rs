@@ -1,0 +1,138 @@
+//! Integration checks of the reconstructed baselines against each other
+//! and against the summary system: the orderings the paper reports must
+//! emerge from the implementations, not from the plotting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum::broker::propagate;
+use subsum::core::{ArithWidth, BrokerSummary, SizeParams, SummaryCodec, SummaryStats};
+use subsum::net::Topology;
+use subsum::siena::{
+    broadcast_cost, broadcast_storage_bytes, propagate_probabilistic, reverse_path_route,
+    SienaParams,
+};
+use subsum::types::{BrokerId, IdLayout, LocalSubId};
+use subsum::workload::{PaperParams, Workload};
+
+fn own_summaries(
+    topology: &Topology,
+    subsumption: f64,
+    sigma: usize,
+    seed: u64,
+) -> (Vec<BrokerSummary>, SummaryCodec) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut workload = Workload::new(PaperParams::default(), subsumption);
+    let schema = workload.schema().clone();
+    let layout =
+        IdLayout::new(topology.len() as u64, sigma as u64 + 1, schema.len() as u32).unwrap();
+    let codec = SummaryCodec::new(layout, ArithWidth::Four);
+    let own = (0..topology.len())
+        .map(|b| {
+            let mut s = BrokerSummary::new(schema.clone());
+            for i in 0..sigma {
+                let sub = workload.subscription(&mut rng);
+                s.insert(BrokerId(b as u16), LocalSubId(i as u32), &sub);
+            }
+            s
+        })
+        .collect();
+    (own, codec)
+}
+
+#[test]
+fn bandwidth_ordering_broadcast_siena_summary() {
+    let topology = Topology::cable_wireless_24();
+    let sigma = 100;
+    let mut rng = StdRng::seed_from_u64(7);
+    let broadcast = broadcast_cost(&topology, sigma, 50).bytes();
+    let siena = propagate_probabilistic(
+        &topology,
+        sigma,
+        SienaParams {
+            subsumption_max: 0.5,
+            sub_size: 50,
+        },
+        &mut rng,
+    )
+    .metrics
+    .link_bytes;
+    let (own, codec) = own_summaries(&topology, 0.5, sigma, 7);
+    let summary = propagate(&topology, &own, &codec)
+        .unwrap()
+        .metrics
+        .link_bytes;
+    assert!(broadcast > siena, "broadcast {broadcast} vs siena {siena}");
+    assert!(siena > summary, "siena {siena} vs summary {summary}");
+    // The paper's headline factor: summaries beat Siena by several times.
+    assert!(
+        siena as f64 / summary as f64 > 2.0,
+        "expected a multi-x gain, got {}",
+        siena as f64 / summary as f64
+    );
+}
+
+#[test]
+fn storage_ordering_matches_fig11() {
+    let topology = Topology::cable_wireless_24();
+    let outstanding = 200;
+    let mut rng = StdRng::seed_from_u64(8);
+    let broadcast = broadcast_storage_bytes(topology.len(), outstanding, 50);
+    let siena = propagate_probabilistic(
+        &topology,
+        outstanding,
+        SienaParams {
+            subsumption_max: 0.1,
+            sub_size: 50,
+        },
+        &mut rng,
+    )
+    .storage_bytes(50);
+    let (own, codec) = own_summaries(&topology, 0.1, outstanding, 8);
+    let stored = propagate(&topology, &own, &codec).unwrap().stored;
+    let summary: usize = stored
+        .iter()
+        .map(|m| SummaryStats::of(&m.summary).total_size(SizeParams::default()))
+        .sum();
+    assert!(siena <= broadcast);
+    assert!(
+        (summary as u64) < siena,
+        "summary {summary} vs siena {siena}"
+    );
+}
+
+#[test]
+fn propagation_hops_summary_far_below_siena() {
+    let topology = Topology::cable_wireless_24();
+    let mut rng = StdRng::seed_from_u64(9);
+    let siena = propagate_probabilistic(
+        &topology,
+        1,
+        SienaParams {
+            subsumption_max: 0.1,
+            sub_size: 50,
+        },
+        &mut rng,
+    )
+    .hops();
+    let (own, codec) = own_summaries(&topology, 0.1, 1, 9);
+    let summary = propagate(&topology, &own, &codec).unwrap().hops();
+    // Siena near-floods (→ B·(B−1) = 552); summaries use < B hops.
+    assert!(siena > 300, "siena hops {siena}");
+    assert!(summary <= 24, "summary hops {summary}");
+}
+
+#[test]
+fn siena_reverse_paths_are_shortest_path_unions() {
+    let topology = Topology::cable_wireless_24();
+    for publisher in [0u16, 11, 23] {
+        let d = topology.distances(publisher);
+        for target in 0..24u16 {
+            if target == publisher {
+                continue;
+            }
+            let hops = reverse_path_route(&topology, publisher, &[target]).hops();
+            assert_eq!(hops as u32, d[target as usize]);
+        }
+    }
+}

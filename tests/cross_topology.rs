@@ -1,0 +1,94 @@
+//! The paper states its results "are similar in all cases" across real
+//! and artificial topologies (§5.2). These tests assert the headline
+//! orderings of Figs. 8, 9 and 11 on every topology family the substrate
+//! provides.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subsum::experiments::{fig10, fig11, fig8, fig9, ExperimentConfig};
+use subsum::net::Topology;
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    let mut rng = StdRng::seed_from_u64(33);
+    vec![
+        ("fig7_tree", Topology::fig7_tree()),
+        ("backbone24", Topology::cable_wireless_24()),
+        ("backbone33", Topology::isp_backbone_33()),
+        ("grid4x5", Topology::grid(4, 5)),
+        ("ba30", Topology::barabasi_albert(30, 2, &mut rng)),
+        ("random20", Topology::random_connected(20, 8, &mut rng)),
+    ]
+}
+
+fn cfg_for(topology: Topology) -> ExperimentConfig {
+    ExperimentConfig {
+        topology,
+        trials: 2,
+        events_per_broker: 4,
+        sigma_sweep: vec![50],
+        subsumption_sweep: vec![0.10, 0.90],
+        popularity_sweep: vec![0.50],
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn fig8_ordering_holds_on_every_topology() {
+    for (name, topology) in topologies() {
+        let t = fig8::run(&cfg_for(topology));
+        for row in &t.rows {
+            let (broadcast, siena10, summary10, siena90, summary90) =
+                (row[1], row[2], row[3], row[4], row[5]);
+            assert!(broadcast > siena10, "{name}: broadcast vs siena");
+            assert!(summary10 < siena10, "{name}: summary vs siena p10");
+            assert!(summary90 < siena90, "{name}: summary vs siena p90");
+        }
+    }
+}
+
+#[test]
+fn fig9_summary_hops_below_broker_count_everywhere() {
+    for (name, topology) in topologies() {
+        let n = topology.len() as f64;
+        let t = fig9::run(&cfg_for(topology));
+        for row in &t.rows {
+            assert!(row[2] <= n, "{name}: summary hops {} vs {n}", row[2]);
+            assert!(
+                row[1] > row[2],
+                "{name}: siena {} vs summary {}",
+                row[1],
+                row[2]
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_summary_wins_mid_popularity_everywhere() {
+    for (name, topology) in topologies() {
+        let t = fig10::run(&cfg_for(topology));
+        for row in &t.rows {
+            // At 50% popularity the summary approach must at least tie
+            // the pruned Siena model on every topology family.
+            assert!(
+                row[1] <= row[2] * 1.10,
+                "{name}: summary {} vs siena {} at 50%",
+                row[1],
+                row[2]
+            );
+        }
+    }
+}
+
+#[test]
+fn fig11_storage_ordering_holds_on_every_topology() {
+    for (name, topology) in topologies() {
+        let t = fig11::run(&cfg_for(topology));
+        for row in &t.rows {
+            assert!(row[3] < row[2], "{name}: summary storage vs siena p10");
+            assert!(row[5] < row[4], "{name}: summary storage vs siena p90");
+            assert!(row[2] <= row[1], "{name}: siena storage vs broadcast");
+        }
+    }
+}

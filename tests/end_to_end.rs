@@ -1,0 +1,263 @@
+//! Cross-crate integration tests: delivery completeness and exactness of
+//! the whole system against an omniscient oracle, across topologies,
+//! workloads and both execution engines (deterministic and threaded).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use subsum::broker::runtime::BrokerNetwork;
+use subsum::broker::SummaryPubSub;
+use subsum::net::Topology;
+use subsum::types::{Event, SubscriptionId};
+use subsum::workload::{PaperParams, StockFeed, Workload};
+
+/// Deliveries must equal the oracle (exact matches over all brokers) for
+/// every event — completeness AND soundness after tier-2 verification.
+#[test]
+fn deliveries_equal_oracle_on_paper_workload() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for topology in [
+        Topology::fig7_tree(),
+        Topology::cable_wireless_24(),
+        Topology::grid(4, 3),
+    ] {
+        let n = topology.len();
+        for &subsumption in &[0.1, 0.9] {
+            let mut workload = Workload::new(PaperParams::default(), subsumption);
+            let schema = workload.schema().clone();
+            let mut sys = SummaryPubSub::new(topology.clone(), schema.clone(), 1000).unwrap();
+            for b in 0..n as u16 {
+                for sub in workload.subscriptions(20, &mut rng) {
+                    sys.subscribe(b, &sub).unwrap();
+                }
+            }
+            sys.propagate().unwrap();
+            for _ in 0..30 {
+                let event = workload.event(0.8, &mut rng);
+                let publisher = rng.gen_range(0..n as u16);
+                let out = sys.publish(publisher, &event);
+                let mut got: Vec<SubscriptionId> = out.deliveries.iter().map(|d| d.id).collect();
+                got.sort();
+                assert_eq!(
+                    got,
+                    sys.oracle_matches(&event),
+                    "topology {n} nodes, p={subsumption}, publisher {publisher}"
+                );
+            }
+        }
+    }
+}
+
+/// The threaded runtime delivers exactly what the deterministic engine
+/// delivers, on a realistic stock workload.
+#[test]
+fn threaded_and_deterministic_engines_agree_on_stock_feed() {
+    let topology = Topology::cable_wireless_24();
+    let mut feed = StockFeed::new();
+    let schema = feed.schema().clone();
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mut det = SummaryPubSub::new(topology.clone(), schema.clone(), 1000).unwrap();
+    let net = BrokerNetwork::start(topology, schema.clone(), 1000).unwrap();
+    for b in 0..24u16 {
+        for _ in 0..4 {
+            let sub = feed.trader_subscription(&mut rng);
+            det.subscribe(b, &sub).unwrap();
+            net.subscribe(b, &sub).unwrap();
+        }
+    }
+    det.propagate().unwrap();
+    net.propagate();
+
+    for _ in 0..50 {
+        let quote = feed.quote(&mut rng);
+        let publisher = rng.gen_range(0..24u16);
+        let mut a: Vec<SubscriptionId> = det
+            .publish(publisher, &quote)
+            .deliveries
+            .iter()
+            .map(|d| d.id)
+            .collect();
+        let mut b: Vec<SubscriptionId> = net
+            .publish(publisher, &quote)
+            .iter()
+            .map(|d| d.id)
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Both equal the oracle.
+        assert_eq!(a, det.oracle_matches(&quote));
+    }
+    net.shutdown();
+}
+
+/// Unsubscribing in the middle of a session never yields stale
+/// deliveries, and re-propagation restores minimal state.
+#[test]
+fn churn_session() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut workload = Workload::new(PaperParams::default(), 0.5);
+    let schema = workload.schema().clone();
+    let mut sys = SummaryPubSub::new(Topology::ring(8), schema.clone(), 1000).unwrap();
+
+    let mut live: Vec<SubscriptionId> = Vec::new();
+    for round in 0..5 {
+        // Add a few subscriptions at random brokers.
+        for _ in 0..10 {
+            let b = rng.gen_range(0..8u16);
+            let sub = workload.subscription(&mut rng);
+            live.push(sys.subscribe(b, &sub).unwrap());
+        }
+        // Remove a random third of what is live.
+        live.retain(|&id| {
+            if rng.gen::<f64>() < 0.33 {
+                assert!(sys.unsubscribe(id));
+                false
+            } else {
+                true
+            }
+        });
+        sys.propagate().unwrap();
+        for _ in 0..10 {
+            let event = workload.event(0.8, &mut rng);
+            let publisher = rng.gen_range(0..8u16);
+            let out = sys.publish(publisher, &event);
+            let mut got: Vec<SubscriptionId> = out.deliveries.iter().map(|d| d.id).collect();
+            got.sort();
+            assert_eq!(got, sys.oracle_matches(&event), "round {round}");
+            for d in &out.deliveries {
+                assert!(live.contains(&d.id), "stale delivery {:?}", d.id);
+            }
+        }
+    }
+}
+
+/// Propagation coverage and bounded hops hold on random topologies.
+#[test]
+fn random_topologies_coverage() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..5 {
+        let n = rng.gen_range(4..40);
+        let topology = Topology::random_connected(n, n / 3, &mut rng);
+        let mut workload = Workload::new(PaperParams::default(), 0.5);
+        let schema = workload.schema().clone();
+        let mut sys = SummaryPubSub::new(topology, schema.clone(), 100).unwrap();
+        for b in 0..n as u16 {
+            let sub = workload.subscription(&mut rng);
+            sys.subscribe(b, &sub).unwrap();
+        }
+        let outcome = sys.propagate().unwrap();
+        assert!(outcome.covers_all_brokers());
+        assert!(outcome.hops() <= n as u64);
+        let event = workload.event(0.9, &mut rng);
+        let out = sys.publish(0, &event);
+        let mut got: Vec<SubscriptionId> = out.deliveries.iter().map(|d| d.id).collect();
+        got.sort();
+        assert_eq!(got, sys.oracle_matches(&event));
+    }
+}
+
+/// Incremental (delta) propagation: new subscriptions become visible,
+/// old ones keep working, and the period's bandwidth tracks the batch
+/// size rather than the outstanding population.
+#[test]
+fn incremental_propagation_periods() {
+    use subsum::types::{NumOp, Subscription};
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut workload = Workload::new(PaperParams::default(), 0.5);
+    let schema = workload.schema().clone();
+    let mut sys =
+        SummaryPubSub::new(Topology::cable_wireless_24(), schema.clone(), 10_000).unwrap();
+
+    // Period 0: a large base population, full propagation.
+    for b in 0..24u16 {
+        for sub in workload.subscriptions(100, &mut rng) {
+            sys.subscribe(b, &sub).unwrap();
+        }
+    }
+    let full_bytes = sys.propagate().unwrap().metrics.payload_bytes;
+
+    // Period 1: a small batch, incremental propagation.
+    let marker = Subscription::builder(&schema)
+        .num("num0", NumOp::Eq, 777_777.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    let marker_id = sys.subscribe(5, &marker).unwrap();
+    for b in 0..24u16 {
+        for sub in workload.subscriptions(2, &mut rng) {
+            sys.subscribe(b, &sub).unwrap();
+        }
+    }
+    let delta = sys.propagate_incremental().unwrap();
+    assert!(
+        delta.metrics.payload_bytes * 5 < full_bytes,
+        "delta period ({}) should be far below the full period ({full_bytes})",
+        delta.metrics.payload_bytes
+    );
+
+    // The new subscription is now reachable from anywhere…
+    let event = Event::builder(&schema)
+        .num("num0", 777_777.0)
+        .unwrap()
+        .build();
+    for publisher in [0u16, 11, 23] {
+        let out = sys.publish(publisher, &event);
+        assert!(out.deliveries.iter().any(|d| d.id == marker_id));
+    }
+    // …and the whole system still matches the oracle.
+    for _ in 0..20 {
+        let event = workload.event(0.8, &mut rng);
+        let publisher = rng.gen_range(0..24u16);
+        let out = sys.publish(publisher, &event);
+        let mut got: Vec<SubscriptionId> = out.deliveries.iter().map(|d| d.id).collect();
+        got.sort();
+        assert_eq!(got, sys.oracle_matches(&event));
+    }
+
+    // A second incremental period with nothing pending costs only the
+    // near-empty summary skeletons.
+    let idle = sys.propagate_incremental().unwrap();
+    assert!(idle.metrics.payload_bytes < delta.metrics.payload_bytes);
+}
+
+/// Overlay topology change (the paper's slowly-changing ISP backbones):
+/// after links change, re-propagation restores exact delivery.
+#[test]
+fn topology_change_and_repropagation() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut workload = Workload::new(PaperParams::default(), 0.5);
+    let schema = workload.schema().clone();
+    let mut sys = SummaryPubSub::new(Topology::ring(10), schema.clone(), 100).unwrap();
+    for b in 0..10u16 {
+        for sub in workload.subscriptions(5, &mut rng) {
+            sys.subscribe(b, &sub).unwrap();
+        }
+    }
+    sys.propagate().unwrap();
+    let event = workload.event(0.9, &mut rng);
+    let before = sys.oracle_matches(&event);
+    assert_eq!(
+        sys.publish(0, &event)
+            .deliveries
+            .iter()
+            .map(|d| d.id)
+            .collect::<Vec<_>>(),
+        before
+    );
+
+    // Rewire: the ring becomes a random mesh with the same brokers.
+    let new_topology = Topology::random_connected(10, 5, &mut rng);
+    sys.set_topology(new_topology).unwrap();
+    sys.propagate().unwrap();
+    for publisher in 0..10u16 {
+        let out = sys.publish(publisher, &event);
+        let mut got: Vec<SubscriptionId> = out.deliveries.iter().map(|d| d.id).collect();
+        got.sort();
+        assert_eq!(got, before, "publisher {publisher} after rewire");
+    }
+
+    // Changing the broker count is rejected.
+    assert!(sys.set_topology(Topology::ring(11)).is_err());
+}

@@ -1,0 +1,133 @@
+//! End-to-end reproduction of the paper's worked examples on the Fig. 7
+//! topology, exercised through the public facade:
+//!
+//! * §4.2 Example — the iteration-by-iteration propagation schedule and
+//!   the final `Merged_Brokers` knowledge at each broker;
+//! * §4.3 Example 3 — the BROCLI walk of an event matching (paper)
+//!   brokers 4, 8 and 13, published at broker 1.
+//!
+//! Paper broker *k* is node *k − 1* throughout.
+
+use std::collections::BTreeSet;
+
+use subsum::broker::SummaryPubSub;
+use subsum::net::Topology;
+use subsum::types::{stock_schema, Event, NumOp, Subscription};
+
+fn system_with_interests(
+    interested: &[u16],
+) -> (SummaryPubSub, Vec<subsum::types::SubscriptionId>) {
+    let schema = stock_schema();
+    let mut sys = SummaryPubSub::new(Topology::fig7_tree(), schema.clone(), 100).unwrap();
+    let mut ids = Vec::new();
+    for b in 0..13u16 {
+        // Interested brokers watch price 42; the rest a broker-unique
+        // price that never fires.
+        let price = if interested.contains(&b) {
+            42.0
+        } else {
+            -(1000.0 + b as f64)
+        };
+        let sub = Subscription::builder(&schema)
+            .num("price", NumOp::Eq, price)
+            .unwrap()
+            .build()
+            .unwrap();
+        ids.push(sys.subscribe(b, &sub).unwrap());
+    }
+    (sys, ids)
+}
+
+#[test]
+fn propagation_schedule_matches_paper_example() {
+    let (mut sys, _) = system_with_interests(&[]);
+    let outcome = sys.propagate().unwrap();
+
+    // Iteration 1: the seven leaves (paper 1, 3, 4, 6, 9, 12, 13) send to
+    // their only neighbors.
+    let it1: Vec<(u16, u16)> = outcome
+        .sends
+        .iter()
+        .filter(|s| s.iteration == 1)
+        .map(|s| (s.from + 1, s.to + 1)) // paper numbering
+        .collect();
+    assert_eq!(
+        it1,
+        vec![(1, 2), (3, 5), (4, 5), (6, 5), (9, 8), (12, 11), (13, 11)]
+    );
+
+    // Iteration 2: broker 2 → 5; brokers 7 and 10 choose broker 8 (the
+    // smallest-degree admissible neighbor, lowest id on ties) — one of
+    // the two serializations the paper's text allows.
+    let it2: Vec<(u16, u16)> = outcome
+        .sends
+        .iter()
+        .filter(|s| s.iteration == 2)
+        .map(|s| (s.from + 1, s.to + 1))
+        .collect();
+    assert_eq!(it2, vec![(2, 5), (7, 8), (10, 8)]);
+
+    // No broker of degree 3+ has an equal-or-higher-degree neighbor left:
+    // iterations 3–5 are silent, and the phase used fewer hops than
+    // brokers.
+    assert!(outcome.sends.iter().all(|s| s.iteration <= 2));
+    assert_eq!(outcome.hops(), 10);
+
+    // Final knowledge: paper broker 5 knows brokers 1–6; broker 8 knows
+    // 7–10; broker 11 knows 11–13.
+    let knows = |node: usize| -> BTreeSet<u16> {
+        outcome.stored[node]
+            .merged_brokers
+            .iter()
+            .map(|b| b + 1)
+            .collect()
+    };
+    assert_eq!(knows(4), (1..=6).collect());
+    assert_eq!(knows(7), (7..=10).collect());
+    assert_eq!(knows(10), (11..=13).collect());
+}
+
+#[test]
+fn event_routing_walkthrough_matches_example3() {
+    // Event matching paper brokers 4, 8, 13 arrives at paper broker 1.
+    let (mut sys, ids) = system_with_interests(&[3, 7, 12]);
+    sys.propagate().unwrap();
+    let schema = sys.schema().clone();
+    let event = Event::builder(&schema).num("price", 42.0).unwrap().build();
+    let out = sys.publish(0, &event);
+
+    // Paper walk: 1 (no match) → 5 (match for 4) → 8 (local match) →
+    // 11 (match for 13), then BROCLI is complete.
+    let visits_paper: Vec<u16> = out.routing.visits.iter().map(|v| v + 1).collect();
+    assert_eq!(visits_paper, vec![1, 5, 8, 11]);
+
+    // Deliveries: exactly the three interested brokers, verified exactly.
+    let mut delivered: Vec<u16> = out.deliveries.iter().map(|d| d.owner + 1).collect();
+    delivered.sort();
+    assert_eq!(delivered, vec![4, 8, 13]);
+    assert!(out.false_positives.is_empty());
+    for d in &out.deliveries {
+        assert!(ids.contains(&d.id));
+    }
+
+    // Hops: forwards 1→5→8→11 plus notifications 5→4 and 11→13
+    // (broker 8's own match is local).
+    assert_eq!(out.routing.forward_hops, 3);
+    assert_eq!(out.routing.notify_hops, 2);
+}
+
+#[test]
+fn every_publisher_reaches_all_interested_brokers() {
+    let (mut sys, _) = system_with_interests(&[3, 7, 12]);
+    sys.propagate().unwrap();
+    let schema = sys.schema().clone();
+    let event = Event::builder(&schema).num("price", 42.0).unwrap().build();
+    for publisher in 0..13u16 {
+        let out = sys.publish(publisher, &event);
+        let mut delivered: Vec<u16> = out.deliveries.iter().map(|d| d.owner).collect();
+        delivered.sort();
+        delivered.dedup();
+        assert_eq!(delivered, vec![3, 7, 12], "publisher {publisher}");
+        assert!(out.routing.visits.len() <= 13);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dynamic schema evolution (the paper's §6 ongoing work): extending the
+//! attribute schema at runtime while keeping existing subscriptions, ids
+//! and summaries valid.
+
+use subsum::broker::SummaryPubSub;
+use subsum::net::Topology;
+use subsum::types::{AttrKind, Event, NumOp, Schema, StrOp, Subscription, TypeError};
+
+fn v1_schema() -> Schema {
+    Schema::builder()
+        .attr("symbol", AttrKind::String)
+        .unwrap()
+        .attr("price", AttrKind::Float)
+        .unwrap()
+        .build()
+}
+
+#[test]
+fn extend_schema_keeps_old_subscriptions_working() {
+    let v1 = v1_schema();
+    let mut sys = SummaryPubSub::new(Topology::fig7_tree(), v1.clone(), 1000).unwrap();
+
+    let old_sub = Subscription::builder(&v1)
+        .str_op("symbol", StrOp::Eq, "OTE")
+        .unwrap()
+        .build()
+        .unwrap();
+    let old_id = sys.subscribe(2, &old_sub).unwrap();
+    sys.propagate().unwrap();
+
+    // Evolve: add a currency attribute.
+    let v2 = v1
+        .to_builder()
+        .attr("currency", AttrKind::String)
+        .unwrap()
+        .build();
+    sys.extend_schema(v2.clone()).unwrap();
+
+    // New-schema subscriptions over the new attribute.
+    let new_sub = Subscription::builder(&v2)
+        .str_op("symbol", StrOp::Eq, "OTE")
+        .unwrap()
+        .str_op("currency", StrOp::Eq, "EUR")
+        .unwrap()
+        .build()
+        .unwrap();
+    let new_id = sys.subscribe(9, &new_sub).unwrap();
+    sys.propagate().unwrap();
+
+    // An event with the new attribute matches both generations.
+    let event = Event::builder(&v2)
+        .str("symbol", "OTE")
+        .unwrap()
+        .num("price", 8.4)
+        .unwrap()
+        .str("currency", "EUR")
+        .unwrap()
+        .build();
+    let out = sys.publish(0, &event);
+    let mut ids: Vec<_> = out.deliveries.iter().map(|d| d.id).collect();
+    ids.sort();
+    let mut expect = vec![old_id, new_id];
+    expect.sort();
+    assert_eq!(ids, expect);
+
+    // An event without the new attribute still reaches the old
+    // subscription only.
+    let event = Event::builder(&v2).str("symbol", "OTE").unwrap().build();
+    let out = sys.publish(5, &event);
+    let ids: Vec<_> = out.deliveries.iter().map(|d| d.id).collect();
+    assert_eq!(ids, vec![old_id]);
+}
+
+#[test]
+fn non_extension_rejected() {
+    let v1 = v1_schema();
+    let mut sys = SummaryPubSub::new(Topology::line(2), v1, 100).unwrap();
+    // Reordered attributes: not an extension.
+    let reordered = Schema::builder()
+        .attr("price", AttrKind::Float)
+        .unwrap()
+        .attr("symbol", AttrKind::String)
+        .unwrap()
+        .build();
+    assert_eq!(
+        sys.extend_schema(reordered).unwrap_err(),
+        TypeError::NotAnExtension
+    );
+    // Narrowed schema: not an extension either.
+    let narrowed = Schema::builder()
+        .attr("symbol", AttrKind::String)
+        .unwrap()
+        .build();
+    assert_eq!(
+        sys.extend_schema(narrowed).unwrap_err(),
+        TypeError::NotAnExtension
+    );
+}
+
+#[test]
+fn c3_mask_widens_but_old_ids_stay_valid() {
+    let v1 = v1_schema();
+    let mut sys = SummaryPubSub::new(Topology::line(3), v1.clone(), 100).unwrap();
+    let sub = Subscription::builder(&v1)
+        .num("price", NumOp::Lt, 10.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    let id = sys.subscribe(0, &sub).unwrap();
+    let old_mask = id.mask;
+
+    let v2 = v1
+        .to_builder()
+        .attr("volume", AttrKind::Integer)
+        .unwrap()
+        .build();
+    sys.extend_schema(v2.clone()).unwrap();
+    sys.propagate().unwrap();
+
+    let event = Event::builder(&v2)
+        .num("price", 5.0)
+        .unwrap()
+        .int("volume", 1)
+        .unwrap()
+        .build();
+    let out = sys.publish(2, &event);
+    assert_eq!(out.deliveries.len(), 1);
+    assert_eq!(out.deliveries[0].id.mask, old_mask);
+}
+
+#[test]
+#[should_panic(expected = "requires a completed propagation")]
+fn publish_after_extension_requires_repropagation() {
+    let v1 = v1_schema();
+    let mut sys = SummaryPubSub::new(Topology::line(2), v1.clone(), 100).unwrap();
+    sys.propagate().unwrap();
+    let v2 = v1
+        .to_builder()
+        .attr("volume", AttrKind::Integer)
+        .unwrap()
+        .build();
+    sys.extend_schema(v2.clone()).unwrap();
+    let event = Event::builder(&v2).int("volume", 1).unwrap().build();
+    sys.publish(0, &event); // panics: summaries were invalidated
+}
