@@ -1,12 +1,19 @@
 //! §5.2.4 — event-matching cost: the summary matcher (Algorithm 1)
 //! against a naive per-subscription scan, for growing subscription
 //! populations and both selective and popular events.
+//!
+//! After the timed runs, an instrumented pass (recorder enabled only for
+//! that pass, so criterion's numbers are unaffected) writes a stage-level
+//! `RunReport` to `BENCH_matching_stages.json` at the workspace root —
+//! the start of the benchmark-trajectory record alongside the criterion
+//! output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use subsum_core::BrokerSummary;
+use subsum_telemetry::{Json, RunReport};
 use subsum_types::{BrokerId, Event, LocalSubId, Subscription};
 use subsum_workload::{PaperParams, Workload};
 
@@ -60,6 +67,44 @@ fn bench_matching(c: &mut Criterion) {
         });
     }
     group.finish();
+    emit_stage_report();
+}
+
+/// Runs one instrumented matching pass and writes its `RunReport` to the
+/// workspace root. Separate from the timed loops above: the recorder is
+/// off while criterion measures and on only here.
+fn emit_stage_report() {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let mut workload = Workload::new(PaperParams::default(), 0.7);
+    let schema = workload.schema().clone();
+    let n = 5000usize;
+    let subs: Vec<Subscription> = workload.subscriptions(n, &mut rng);
+    let events: Vec<Event> = (0..64).map(|_| workload.event(0.7, &mut rng)).collect();
+
+    subsum_telemetry::set_enabled(true);
+    subsum_telemetry::reset();
+    let mut summary = BrokerSummary::new(schema);
+    for (i, sub) in subs.iter().enumerate() {
+        summary.insert(BrokerId(0), LocalSubId(i as u32), sub);
+    }
+    let matched: usize = events.iter().map(|e| summary.match_event(e).len()).sum();
+    let mut report = RunReport::capture("bench.matching");
+    subsum_telemetry::set_enabled(false);
+
+    report.embed(
+        "workload",
+        Json::obj([
+            ("subscriptions", Json::UInt(n as u64)),
+            ("events", Json::UInt(events.len() as u64)),
+            ("candidate_matches", Json::UInt(matched as u64)),
+        ]),
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_matching_stages.json");
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => eprintln!("stage report -> {}", path.display()),
+        Err(e) => eprintln!("cannot write stage report {}: {e}", path.display()),
+    }
 }
 
 criterion_group!(benches, bench_matching);

@@ -20,7 +20,10 @@ use std::collections::BTreeSet;
 
 use subsum_core::{BrokerSummary, SummaryCodec};
 use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_telemetry::Stage;
 use subsum_types::TypeError;
+
+static STAGE_ROUND: Stage = Stage::new("propagate.round");
 
 /// A broker's stored multi-broker summary: the merged structure plus the
 /// set of brokers whose subscriptions it covers.
@@ -125,6 +128,7 @@ pub fn propagate(
 
     let max_degree = topology.max_degree();
     for iteration in 1..=max_degree {
+        let _round_span = STAGE_ROUND.start();
         // Synchronous round: all sends computed against the state at the
         // start of the iteration, delivered at the end.
         let mut deliveries: Vec<(NodeId, MergedSummary, usize)> = Vec::new();

@@ -14,9 +14,12 @@
 //! the purposes of the next-broker choice, spreading the examination load.
 
 use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_telemetry::Stage;
 use subsum_types::{Event, SubscriptionId};
 
 use crate::propagation::MergedSummary;
+
+static STAGE_CANDIDATE_MATCH: Stage = Stage::new("publish.candidate_match");
 
 /// Options for [`route_event`].
 #[derive(Debug, Clone, Default)]
@@ -133,7 +136,9 @@ pub fn route_event(
         // 1. Check the local merged summary for matches; report each
         //    matched subscription to its owner unless the owner's
         //    subscriptions were already examined earlier on the path.
+        let match_span = STAGE_CANDIDATE_MATCH.start();
         let matched = state.summary.match_event(event);
+        match_span.finish();
         let mut owners_here: Vec<NodeId> = Vec::new();
         for id in matched {
             let owner = id.broker.0 as NodeId;

@@ -43,9 +43,12 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
 use subsum_net::{NodeId, Topology};
+use subsum_telemetry::Stage;
 use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError};
 
 use crate::system::Delivery;
+
+static STAGE_HANDLE_MSG: Stage = Stage::new("runtime.handle_msg");
 
 /// Traffic counters reported by a threaded propagation phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -318,9 +321,17 @@ impl BrokerNetwork {
                 merged_brokers: BTreeSet::from([b as NodeId]),
                 communicated: BTreeSet::new(),
             };
+            let depth_gauge = subsum_telemetry::gauge(&format!("runtime.mailbox.{b}"));
             handles.push(std::thread::spawn(move || {
                 while let Ok(cmd) = rx.recv() {
-                    if !state.handle(cmd) {
+                    if subsum_telemetry::enabled() {
+                        // Commands still queued behind the one just taken.
+                        depth_gauge.set(rx.len() as i64);
+                    }
+                    let span = STAGE_HANDLE_MSG.start();
+                    let keep_going = state.handle(cmd);
+                    span.finish();
+                    if !keep_going {
                         break;
                     }
                 }

@@ -17,10 +17,26 @@ use std::collections::HashMap;
 
 use subsum_core::{ArithWidth, BrokerSummary, SizeParams, SummaryCodec, SummaryStats};
 use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_telemetry::{Count, Stage};
 use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError};
 
 use crate::propagation::{propagate, MergedSummary, PropagationOutcome};
 use crate::routing::{route_event, RoutingOptions, RoutingOutcome};
+
+/// Telemetry stages and counters of the end-to-end engine. Publishing is
+/// split into its pipeline stages — Algorithm 3 routing
+/// (`publish.route`, which itself spans `publish.candidate_match` per
+/// examined broker) and tier-2 owner verification
+/// (`publish.owner_verify`) — so a run report can answer where a
+/// publish's time goes.
+static STAGE_SUBSCRIBE: Stage = Stage::new("broker.subscribe");
+static STAGE_PROPAGATE: Stage = Stage::new("broker.propagate");
+static STAGE_ROUTE: Stage = Stage::new("publish.route");
+static STAGE_OWNER_VERIFY: Stage = Stage::new("publish.owner_verify");
+static CNT_EVENTS: Count = Count::new("publish.events");
+static CNT_CANDIDATES: Count = Count::new("publish.candidates");
+static CNT_DELIVERIES: Count = Count::new("publish.deliveries");
+static CNT_FALSE_POSITIVES: Count = Count::new("publish.false_positives");
 
 /// A confirmed delivery: the event matched this subscription exactly and
 /// its owner broker was notified.
@@ -41,6 +57,26 @@ pub struct PublishOutcome {
     pub false_positives: Vec<SubscriptionId>,
     /// The raw routing trace (visits, hops, metrics).
     pub routing: RoutingOutcome,
+}
+
+impl PublishOutcome {
+    /// The fraction of verified candidates that tier-2 verification
+    /// rejected: `false_positives / (deliveries + false_positives)`,
+    /// or 0.0 when the event produced no candidates at all.
+    ///
+    /// This is the cost SACS generalization imposes on the owner brokers
+    /// (each rejected candidate burned one verification); shadow-expanded
+    /// deliveries of the §6 subsumption filter count toward the
+    /// denominator because their coverer was a verified candidate.
+    pub fn false_positive_rate(&self) -> f64 {
+        let rejected = self.false_positives.len();
+        let total = self.deliveries.len() + rejected;
+        if total == 0 {
+            0.0
+        } else {
+            rejected as f64 / total as f64
+        }
+    }
 }
 
 /// A complete summary-centric pub/sub deployment over a broker overlay.
@@ -323,6 +359,7 @@ impl SummaryPubSub {
         broker: NodeId,
         sub: &Subscription,
     ) -> Result<SubscriptionId, TypeError> {
+        let _span = STAGE_SUBSCRIBE.start();
         let b = broker as usize;
         let local = self.next_local[b];
         if u64::from(local) >= (1u64 << self.codec.layout().local_bits()) {
@@ -413,6 +450,7 @@ impl SummaryPubSub {
     /// Returns [`TypeError::IdOverflow`] if an id exceeds the codec's
     /// layout.
     pub fn propagate(&mut self) -> Result<&PropagationOutcome, TypeError> {
+        let _span = STAGE_PROPAGATE.start();
         // Rebuild own summaries from the exact stores so unsubscriptions
         // shed their generalizations at each period boundary. Shadowed
         // subscriptions stay out of the summaries (§6 extension).
@@ -454,6 +492,7 @@ impl SummaryPubSub {
         if self.last_propagation.is_none() {
             return self.propagate().cloned();
         }
+        let _span = STAGE_PROPAGATE.start();
         // Delta summaries: only pending (and still-live, non-shadowed)
         // subscriptions.
         let deltas: Vec<BrokerSummary> = (0..self.own.len())
@@ -493,12 +532,14 @@ impl SummaryPubSub {
     /// Panics if called before any [`SummaryPubSub::propagate`], or if
     /// `broker` is out of range.
     pub fn publish(&self, broker: NodeId, event: &Event) -> PublishOutcome {
+        CNT_EVENTS.inc();
         let stored = &self
             .last_propagation
             .as_ref()
             .expect("publish requires a completed propagation phase")
             .stored;
         let event_bytes = event.wire_size(&self.schema, 4);
+        let route_span = STAGE_ROUTE.start();
         let routing = route_event(
             &self.topology,
             stored,
@@ -507,6 +548,9 @@ impl SummaryPubSub {
             event_bytes,
             &self.routing,
         );
+        route_span.finish();
+        CNT_CANDIDATES.add(routing.notifications.len() as u64);
+        let verify_span = STAGE_OWNER_VERIFY.start();
         let mut deliveries = Vec::new();
         let mut false_positives = Vec::new();
         for n in &routing.notifications {
@@ -536,6 +580,9 @@ impl SummaryPubSub {
         }
         deliveries.sort_by_key(|d| d.id);
         deliveries.dedup();
+        verify_span.finish();
+        CNT_DELIVERIES.add(deliveries.len() as u64);
+        CNT_FALSE_POSITIVES.add(false_positives.len() as u64);
         PublishOutcome {
             deliveries,
             false_positives,
@@ -674,6 +721,49 @@ mod tests {
         assert_eq!(out.deliveries.len(), 1);
         assert_eq!(out.deliveries[0].id, id_broad);
         assert_eq!(out.false_positives, vec![id_precise]);
+    }
+
+    #[test]
+    fn false_positive_rate_counts_rejected_candidates() {
+        let mut sys = system(Topology::line(3));
+        let schema = sys.schema().clone();
+        let precise = Subscription::builder(&schema)
+            .str_op("symbol", StrOp::Eq, "OTE")
+            .unwrap()
+            .build()
+            .unwrap();
+        let broad = Subscription::builder(&schema)
+            .str_op("symbol", StrOp::Prefix, "OT")
+            .unwrap()
+            .build()
+            .unwrap();
+        sys.subscribe(0, &precise).unwrap();
+        sys.subscribe(0, &broad).unwrap();
+        sys.propagate().unwrap();
+        // OTX: the broad subscription delivers, the precise one is a
+        // rejected candidate → rate 1/2.
+        let event = Event::builder(&schema)
+            .str("symbol", "OTX")
+            .unwrap()
+            .build();
+        let out = sys.publish(2, &event);
+        assert_eq!(out.false_positive_rate(), 0.5);
+        // OTE: both candidates verify → rate 0.
+        let event = Event::builder(&schema)
+            .str("symbol", "OTE")
+            .unwrap()
+            .build();
+        let out = sys.publish(2, &event);
+        assert_eq!(out.deliveries.len(), 2);
+        assert_eq!(out.false_positive_rate(), 0.0);
+        // No candidates at all → rate 0 (not NaN).
+        let event = Event::builder(&schema)
+            .str("symbol", "ZZZ")
+            .unwrap()
+            .build();
+        let out = sys.publish(2, &event);
+        assert!(out.deliveries.is_empty());
+        assert_eq!(out.false_positive_rate(), 0.0);
     }
 
     #[test]

@@ -14,10 +14,17 @@
 
 use serde::{Deserialize, Serialize};
 
+use subsum_telemetry::Stage;
 use subsum_types::{AttrKind, Event, NormalizedAttr, Schema, Subscription, SubscriptionId};
 
 use crate::aacs::{IdList, RangeSummary};
 use crate::sacs::PatternSummary;
+
+/// Telemetry stages of the summary hot paths (recorded only while the
+/// global recorder is enabled; see `subsum-telemetry`).
+static STAGE_INSERT: Stage = Stage::new("core.summary.insert");
+static STAGE_MERGE: Stage = Stage::new("core.summary.merge");
+static STAGE_MATCH: Stage = Stage::new("core.summary.match");
 
 /// A complete subscription summary for one (or, after merging, several)
 /// broker(s): one AACS per arithmetic attribute and one SACS per string
@@ -110,6 +117,7 @@ impl BrokerSummary {
     /// Dissolves `sub` under a pre-assigned id. The id's `c3` mask must
     /// equal `sub.attr_mask()` for the match counters to be meaningful.
     pub fn insert_with_id(&mut self, id: SubscriptionId, sub: &Subscription) {
+        let _span = STAGE_INSERT.start();
         debug_assert_eq!(id.mask, sub.attr_mask(), "id mask must match constraints");
         let normalized = sub.normalize();
         for (attr, na) in normalized.iter() {
@@ -175,6 +183,7 @@ impl BrokerSummary {
     /// Panics if the schemata differ; brokers of one system share the
     /// schema by assumption (§3).
     pub fn merge(&mut self, other: &BrokerSummary) {
+        let _span = STAGE_MERGE.start();
         assert!(
             self.schema.is_compatible(&other.schema),
             "cannot merge summaries over different schemata"
@@ -258,6 +267,7 @@ impl BrokerSummary {
     /// lengths — `O(P log P)` in the `P` collected ids, with far better
     /// constants than hashing each id.
     pub fn match_event_with_stats(&self, event: &Event) -> MatchOutcome {
+        let _span = STAGE_MATCH.start();
         let mut collected = IdList::new();
         let mut scratch = IdList::new();
         let mut stats = MatchStats::default();

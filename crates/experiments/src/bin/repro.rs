@@ -1,48 +1,106 @@
 //! Regenerates the paper's tables and figures from the command line.
 //!
 //! ```text
-//! repro [--fast] [--csv] [--out DIR]
+//! repro [--fast] [--csv] [--out DIR] [--telemetry-json FILE]
 //!       [fig8|fig9|fig10|fig11|compute|analysis|vdeg|subsumption|filter|latency|scaling|all]
 //! ```
+//!
+//! With `--telemetry-json FILE`, the global telemetry recorder is
+//! switched on for the run; afterwards a [`RunReport`] — per-stage
+//! latency digests, the `publish.*` counters, mailbox gauges, and the
+//! probe's aggregated network metrics — is written to `FILE` as one JSON
+//! object. A deterministic stage-coverage probe
+//! ([`subsum_experiments::telemetry_probe`]) runs after the selected
+//! experiments so every instrumented stage appears in the report
+//! regardless of the figure chosen.
 
 use subsum_experiments::{
-    ablations, analysis, compute, fig10, fig11, fig8, fig9, latency, scaling,
+    ablations, analysis, compute, fig10, fig11, fig8, fig9, latency, scaling, telemetry_probe,
 };
 use subsum_experiments::{ExperimentConfig, ResultTable};
+use subsum_telemetry::RunReport;
+
+struct Args {
+    fast: bool,
+    csv: bool,
+    out_dir: Option<String>,
+    telemetry_json: Option<String>,
+    what: String,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        fast: false,
+        csv: false,
+        out_dir: None,
+        telemetry_json: None,
+        what: "all".to_owned(),
+    };
+    let mut what: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fast" => args.fast = true,
+            "--csv" => args.csv = true,
+            "--out" => {
+                i += 1;
+                args.out_dir = Some(
+                    argv.get(i)
+                        .ok_or_else(|| "--out requires a directory".to_owned())?
+                        .clone(),
+                );
+            }
+            "--telemetry-json" => {
+                i += 1;
+                args.telemetry_json = Some(
+                    argv.get(i)
+                        .ok_or_else(|| "--telemetry-json requires a file path".to_owned())?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            name => {
+                if let Some(prev) = &what {
+                    return Err(format!("two experiment names given: `{prev}` and `{name}`"));
+                }
+                what = Some(name.to_owned());
+            }
+        }
+        i += 1;
+    }
+    if let Some(w) = what {
+        args.what = w;
+    }
+    Ok(args)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let csv = args.iter().any(|a| a == "--csv");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let mut skip_next = false;
-    let what = args
-        .iter()
-        .find(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--out" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .cloned()
-        .unwrap_or_else(|| "all".to_owned());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: repro [--fast] [--csv] [--out DIR] [--telemetry-json FILE] [EXPERIMENT]"
+            );
+            std::process::exit(2);
+        }
+    };
 
-    let cfg = if fast {
+    let cfg = if args.fast {
         ExperimentConfig::fast()
     } else {
         ExperimentConfig::default()
     };
 
-    let tables: Vec<ResultTable> = match what.as_str() {
+    if args.telemetry_json.is_some() {
+        subsum_telemetry::set_enabled(true);
+        subsum_telemetry::reset();
+    }
+
+    let tables: Vec<ResultTable> = match args.what.as_str() {
         "fig8" => vec![fig8::run(&cfg)],
         "fig9" => vec![fig9::run(&cfg)],
         "fig10" => vec![fig10::run(&cfg)],
@@ -64,26 +122,48 @@ fn main() {
         }
     };
 
-    if let Some(dir) = &out_dir {
+    if let Some(dir) = &args.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create `{dir}`: {e}");
             std::process::exit(1);
         }
     }
     for t in tables {
-        if csv {
+        if args.csv {
             println!("# {} — {}", t.name, t.caption);
             print!("{}", t.to_csv());
             println!();
         } else {
             println!("{t}");
         }
-        if let Some(dir) = &out_dir {
+        if let Some(dir) = &args.out_dir {
             let path = std::path::Path::new(dir).join(format!("{}.csv", t.name));
             if let Err(e) = std::fs::write(&path, t.to_csv()) {
                 eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = &args.telemetry_json {
+        // The probe guarantees stage coverage beyond what the selected
+        // figure exercised.
+        let probe = telemetry_probe::run(&cfg);
+        let mut report = RunReport::capture(format!("repro.{}", args.what));
+        report.embed(
+            "net_metrics",
+            telemetry_probe::net_metrics_to_json(&probe.net_metrics),
+        );
+        report.embed("probe", probe.to_json());
+        subsum_telemetry::set_enabled(false);
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "telemetry: {} stages, {} counters -> {path}",
+            report.stages.len(),
+            report.counters.len()
+        );
     }
 }

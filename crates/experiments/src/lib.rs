@@ -14,6 +14,7 @@
 //! | [`analysis`] | Eq. (1)/(2) | analytic sizes vs measured wire bytes |
 //! | [`ablations`] | §6 / §5.2 | virtual degrees; subsumption models; the §6 filter |
 //! | [`latency`] | beyond the paper | delivery latency: sequential BROCLI vs parallel flood |
+//! | [`telemetry_probe`] | beyond the paper | deterministic stage-coverage run for `repro --telemetry-json` |
 //!
 //! All experiments are deterministic under [`ExperimentConfig::seed`].
 //!
@@ -40,6 +41,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod latency;
 pub mod scaling;
+pub mod telemetry_probe;
 
 pub use common::{mean, stddev, ResultTable};
 pub use config::ExperimentConfig;

@@ -56,16 +56,20 @@ impl NetMetrics {
     }
 
     /// Merges counters from another run segment.
+    ///
+    /// Segments may cover different broker populations (e.g. a run that
+    /// grew its overlay between periods): the per-broker vectors grow to
+    /// the larger population, zero-padding the brokers the smaller
+    /// segment never saw.
     pub fn merge(&mut self, other: &NetMetrics) {
-        assert_eq!(
-            self.sent_per_broker.len(),
-            other.sent_per_broker.len(),
-            "metrics must cover the same broker population"
-        );
+        let n = self.sent_per_broker.len().max(other.sent_per_broker.len());
+        self.sent_per_broker.resize(n, 0);
+        self.received_per_broker.resize(n, 0);
+        self.bytes_per_broker.resize(n, 0);
         self.messages += other.messages;
         self.link_bytes += other.link_bytes;
         self.payload_bytes += other.payload_bytes;
-        for i in 0..self.sent_per_broker.len() {
+        for i in 0..other.sent_per_broker.len() {
             self.sent_per_broker[i] += other.sent_per_broker[i];
             self.received_per_broker[i] += other.received_per_broker[i];
             self.bytes_per_broker[i] += other.bytes_per_broker[i];
@@ -137,10 +141,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "same broker population")]
-    fn merge_mismatched_sizes_panics() {
+    fn merge_mismatched_sizes_grows_to_larger_population() {
         let mut a = NetMetrics::new(2);
-        let b = NetMetrics::new(3);
+        a.record(0, 1, 10, 1);
+        let mut b = NetMetrics::new(4);
+        b.record(3, 2, 20, 2);
         a.merge(&b);
+        assert_eq!(a.sent_per_broker, vec![1, 0, 0, 1]);
+        assert_eq!(a.received_per_broker, vec![0, 1, 1, 0]);
+        assert_eq!(a.bytes_per_broker, vec![10, 0, 0, 20]);
+        assert_eq!(a.messages, 2);
+        // Merging a smaller population into a larger one pads the same way.
+        let mut c = NetMetrics::new(1);
+        c.record(0, 0, 5, 1);
+        a.merge(&c);
+        assert_eq!(a.sent_per_broker, vec![2, 0, 0, 1]);
+        assert_eq!(a.payload_bytes, 35);
     }
 }

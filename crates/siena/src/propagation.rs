@@ -18,7 +18,10 @@
 use rand::Rng;
 
 use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_telemetry::Stage;
 use subsum_types::{Schema, Subscription};
+
+static STAGE_PROPAGATE: Stage = Stage::new("siena.propagate");
 
 /// Parameters of the probabilistic Siena model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +80,7 @@ pub fn propagate_probabilistic<R: Rng>(
     params: SienaParams,
     rng: &mut R,
 ) -> SienaPropagation {
+    let _span = STAGE_PROPAGATE.start();
     let n = topology.len();
     let mut metrics = NetMetrics::new(n);
     let mut stored = vec![0u64; n];
@@ -129,6 +133,7 @@ pub fn propagate_content(
     subs: &[Vec<Subscription>],
     arith_width: usize,
 ) -> SienaPropagation {
+    let _span = STAGE_PROPAGATE.start();
     assert_eq!(subs.len(), topology.len());
     let n = topology.len();
     let mut metrics = NetMetrics::new(n);

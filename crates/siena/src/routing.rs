@@ -13,6 +13,9 @@
 use std::collections::BTreeSet;
 
 use subsum_net::{NodeId, Topology};
+use subsum_telemetry::Stage;
+
+static STAGE_ROUTE: Stage = Stage::new("siena.route");
 
 /// The links an event traverses to reach all matched brokers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +42,7 @@ pub fn reverse_path_route(
     publisher: NodeId,
     matched: &[NodeId],
 ) -> ReversePathRoute {
+    let _span = STAGE_ROUTE.start();
     let mut links = BTreeSet::new();
     for &m in matched {
         if m == publisher {
@@ -123,6 +127,7 @@ impl SienaEventRouting {
     /// Routes an event from `publisher` to every broker in `matched`,
     /// returning the union of traversed links.
     pub fn route(&self, publisher: NodeId, matched: &[NodeId]) -> ReversePathRoute {
+        let _span = STAGE_ROUTE.start();
         let mut links = BTreeSet::new();
         let mut add = |a: NodeId, b: NodeId| {
             links.insert((a.min(b), a.max(b)));

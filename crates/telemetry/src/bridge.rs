@@ -1,0 +1,42 @@
+//! Span forwarding for the `tracing` feature.
+//!
+//! When the `tracing` cargo feature is enabled, every closed span
+//! (stage name plus duration in nanoseconds) is forwarded to a
+//! process-global observer callback in addition to the stage histogram.
+//! This is the integration point for the `tracing` ecosystem: a binary
+//! that depends on the `tracing` crate installs an observer that emits
+//! `tracing::event!`s (or spans) from the callback. The workspace build
+//! environment is offline, so this crate deliberately does not link the
+//! `tracing` crate itself — the bridge keeps the dependency on the
+//! consumer's side while the instrumented crates stay dependency-free.
+//!
+//! ```
+//! fn stdout_observer(stage: &'static str, nanos: u64) {
+//!     // with the `tracing` crate available, this body would be e.g.
+//!     // tracing::trace!(target: "subsum", stage, nanos);
+//!     let _ = (stage, nanos);
+//! }
+//! subsum_telemetry::bridge::set_span_observer(stdout_observer);
+//! ```
+
+use std::sync::OnceLock;
+
+/// A span observer: called once per closed span with the stage name and
+/// the span duration in nanoseconds. Must be cheap and non-blocking —
+/// it runs on the instrumented thread.
+pub type SpanObserver = fn(stage: &'static str, nanos: u64);
+
+static OBSERVER: OnceLock<SpanObserver> = OnceLock::new();
+
+/// Installs the process-global span observer. Returns `false` if one
+/// was already installed (the first installation wins).
+pub fn set_span_observer(observer: SpanObserver) -> bool {
+    OBSERVER.set(observer).is_ok()
+}
+
+/// Forwards one closed span to the observer, if any.
+pub(crate) fn emit(stage: &'static str, nanos: u64) {
+    if let Some(observer) = OBSERVER.get() {
+        observer(stage, nanos);
+    }
+}

@@ -1,0 +1,73 @@
+//! # subsum-telemetry — pipeline telemetry for the broker stack
+//!
+//! The paper's evaluation (§5) measures only aggregate network costs;
+//! this crate adds the *time* dimension the ROADMAP's production goals
+//! need: where does a publish spend its nanoseconds — summary matching,
+//! BROCLI pruning, or owner verification — and how many SACS false
+//! positives did tier-2 verification burn?
+//!
+//! Four pieces:
+//!
+//! * cheap **counters** and **gauges** ([`Counter`], [`Gauge`], and the
+//!   call-site-cached [`Count`]) — plain relaxed atomics;
+//! * **log-bucketed latency histograms** ([`Histogram`]) with
+//!   p50/p90/p99/max digests and exactly mergeable [`Snapshot`]s;
+//! * **RAII span timers** for named pipeline stages ([`Stage`],
+//!   [`SpanTimer`]);
+//! * a serializable [`RunReport`] bundling stage timings, counters and
+//!   embedded documents (e.g. `NetMetrics`) into one JSON object.
+//!
+//! # Cost model
+//!
+//! The global recorder is **disabled by default**. Every instrumented
+//! site first loads one relaxed atomic; when disabled nothing else
+//! happens — no clock reads, no allocation, no locks — so benchmark
+//! and production numbers stay honest. When enabled, recording is
+//! lock-free: handles are cached per call site and all state is plain
+//! relaxed atomics.
+//!
+//! # Example
+//!
+//! ```
+//! use subsum_telemetry as telemetry;
+//!
+//! static STAGE_PARSE: telemetry::Stage = telemetry::Stage::new("doc.parse");
+//! static DOCS: telemetry::Count = telemetry::Count::new("doc.count");
+//!
+//! telemetry::set_enabled(true);
+//! for _ in 0..10 {
+//!     let _span = STAGE_PARSE.start(); // records ns on drop
+//!     DOCS.inc();
+//! }
+//! telemetry::set_enabled(false);
+//!
+//! let report = telemetry::RunReport::capture("example");
+//! let stage = &report.stages["doc.parse"];
+//! assert_eq!(stage.count, 10);
+//! assert!(stage.p50_ns <= stage.p99_ns);
+//! assert!(report.to_json().starts_with('{'));
+//! # telemetry::reset();
+//! ```
+//!
+//! # The `tracing` feature
+//!
+//! With the `tracing` cargo feature enabled, every closed span is also
+//! forwarded to a process-global observer callback ([`bridge`]) — the
+//! hook where a `tracing`-ecosystem subscriber attaches. The feature
+//! adds no dependency and is off by default.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+#[cfg(feature = "tracing")]
+pub mod bridge;
+mod hist;
+mod recorder;
+mod report;
+
+pub use hist::{Histogram, Snapshot, NUM_BUCKETS};
+pub use recorder::{
+    counter, counters_snapshot, enabled, gauge, gauges_snapshot, histogram, histograms_snapshot,
+    reset, set_enabled, Count, Counter, Gauge, SpanTimer, Stage,
+};
+pub use report::{Json, RunReport, StageReport};

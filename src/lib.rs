@@ -16,7 +16,9 @@
 //! * [`siena`] — the reconstructed Siena-style and broadcast baselines;
 //! * [`workload`] — Table 2 workload generators, popularity workloads and
 //!   a stock feed;
-//! * [`experiments`] — regeneration of every figure in the paper's §5.
+//! * [`experiments`] — regeneration of every figure in the paper's §5;
+//! * [`telemetry`] — pipeline-stage tracing, latency histograms and
+//!   exportable run reports across the broker stack.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use subsum_core as core;
 pub use subsum_experiments as experiments;
 pub use subsum_net as net;
 pub use subsum_siena as siena;
+pub use subsum_telemetry as telemetry;
 pub use subsum_types as types;
 pub use subsum_workload as workload;
 
