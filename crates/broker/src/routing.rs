@@ -13,6 +13,7 @@
 //! balancing) lets maximum-degree brokers advertise a smaller degree for
 //! the purposes of the next-broker choice, spreading the examination load.
 
+use subsum_core::MatchScratch;
 use subsum_net::{NetMetrics, NodeId, Topology};
 use subsum_telemetry::Stage;
 use subsum_types::{Event, SubscriptionId};
@@ -117,6 +118,31 @@ pub fn route_event(
     event_bytes: usize,
     options: &RoutingOptions,
 ) -> RoutingOutcome {
+    let mut scratch = MatchScratch::new();
+    route_event_with_scratch(
+        topology,
+        stored,
+        publisher,
+        event,
+        event_bytes,
+        options,
+        &mut scratch,
+    )
+}
+
+/// As [`route_event`], matching through a caller-owned [`MatchScratch`]
+/// so batched publishers avoid per-event allocations (see
+/// `SummaryPubSub::publish_batch`).
+#[allow(clippy::too_many_arguments)]
+pub fn route_event_with_scratch(
+    topology: &Topology,
+    stored: &[MergedSummary],
+    publisher: NodeId,
+    event: &Event,
+    event_bytes: usize,
+    options: &RoutingOptions,
+    scratch: &mut MatchScratch,
+) -> RoutingOutcome {
     assert_eq!(stored.len(), topology.len());
     assert!((publisher as usize) < topology.len());
     let n = topology.len();
@@ -137,10 +163,10 @@ pub fn route_event(
         //    matched subscription to its owner unless the owner's
         //    subscriptions were already examined earlier on the path.
         let match_span = STAGE_CANDIDATE_MATCH.start();
-        let matched = state.summary.match_event(event);
+        let matched = &state.summary.match_event_into(event, scratch).matched;
         match_span.finish();
         let mut owners_here: Vec<NodeId> = Vec::new();
-        for id in matched {
+        for &id in matched {
             let owner = id.broker.0 as NodeId;
             if brocli[owner as usize] {
                 continue; // already examined at a previous broker

@@ -41,7 +41,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
+use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, SummaryCodec};
 use subsum_net::{NodeId, Topology};
 use subsum_telemetry::Stage;
 use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError};
@@ -128,6 +128,9 @@ struct BrokerState {
     stored: BrokerSummary,
     merged_brokers: BTreeSet<NodeId>,
     communicated: BTreeSet<NodeId>,
+    /// Per-thread matcher scratch, reused across every event this broker
+    /// thread examines (allocation-free steady-state matching).
+    scratch: MatchScratch,
 }
 
 impl BrokerState {
@@ -218,11 +221,15 @@ impl BrokerState {
     }
 
     fn examine_event(&mut self, ctx: EventCtx, brocli: &mut [bool]) {
-        // 1. Match against the local merged summary; report candidates to
-        //    owners whose subscriptions were not yet examined.
-        let matched = self.stored.match_event(&ctx.event);
+        // 1. Match against the local merged summary (through this
+        //    thread's reusable scratch); report candidates to owners
+        //    whose subscriptions were not yet examined.
+        let matched = &self
+            .stored
+            .match_event_into(&ctx.event, &mut self.scratch)
+            .matched;
         let mut per_owner: HashMap<NodeId, Vec<SubscriptionId>> = HashMap::new();
-        for id in matched {
+        for &id in matched {
             let owner = id.broker.0 as NodeId;
             if !brocli[owner as usize] {
                 per_owner.entry(owner).or_default().push(id);
@@ -320,6 +327,7 @@ impl BrokerNetwork {
                 stored: BrokerSummary::new(schema.clone()),
                 merged_brokers: BTreeSet::from([b as NodeId]),
                 communicated: BTreeSet::new(),
+                scratch: MatchScratch::new(),
             };
             let depth_gauge = subsum_telemetry::gauge(&format!("runtime.mailbox.{b}"));
             handles.push(std::thread::spawn(move || {

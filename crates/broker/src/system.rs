@@ -15,13 +15,15 @@
 
 use std::collections::HashMap;
 
-use subsum_core::{ArithWidth, BrokerSummary, SizeParams, SummaryCodec, SummaryStats};
+use subsum_core::{
+    ArithWidth, BrokerSummary, MatchScratch, SizeParams, SummaryCodec, SummaryStats,
+};
 use subsum_net::{NetMetrics, NodeId, Topology};
 use subsum_telemetry::{Count, Stage};
 use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError};
 
 use crate::propagation::{propagate, MergedSummary, PropagationOutcome};
-use crate::routing::{route_event, RoutingOptions, RoutingOutcome};
+use crate::routing::{route_event_with_scratch, RoutingOptions, RoutingOutcome};
 
 /// Telemetry stages and counters of the end-to-end engine. Publishing is
 /// split into its pipeline stages — Algorithm 3 routing
@@ -532,6 +534,19 @@ impl SummaryPubSub {
     /// Panics if called before any [`SummaryPubSub::propagate`], or if
     /// `broker` is out of range.
     pub fn publish(&self, broker: NodeId, event: &Event) -> PublishOutcome {
+        let mut scratch = MatchScratch::new();
+        self.publish_with_scratch(broker, event, &mut scratch)
+    }
+
+    /// As [`SummaryPubSub::publish`], matching through a caller-owned
+    /// [`MatchScratch`]. Publishing takes `&self`, so each worker thread
+    /// of [`SummaryPubSub::publish_batch`] holds its own scratch.
+    pub fn publish_with_scratch(
+        &self,
+        broker: NodeId,
+        event: &Event,
+        scratch: &mut MatchScratch,
+    ) -> PublishOutcome {
         CNT_EVENTS.inc();
         let stored = &self
             .last_propagation
@@ -540,13 +555,14 @@ impl SummaryPubSub {
             .stored;
         let event_bytes = event.wire_size(&self.schema, 4);
         let route_span = STAGE_ROUTE.start();
-        let routing = route_event(
+        let routing = route_event_with_scratch(
             &self.topology,
             stored,
             broker,
             event,
             event_bytes,
             &self.routing,
+            scratch,
         );
         route_span.finish();
         CNT_CANDIDATES.add(routing.notifications.len() as u64);
@@ -588,6 +604,54 @@ impl SummaryPubSub {
             false_positives,
             routing,
         }
+    }
+
+    /// Publishes a batch of `(publisher broker, event)` pairs, fanning
+    /// the events across worker threads.
+    ///
+    /// Publishing is a read-only operation over the installed summaries
+    /// (`&self`), so events are independent: the batch is split into
+    /// contiguous chunks, one scoped `std::thread` per chunk, each worker
+    /// reusing one [`MatchScratch`] across its events. Outcomes are
+    /// returned in input order, identical to sequential
+    /// [`SummaryPubSub::publish`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any [`SummaryPubSub::propagate`], or if a
+    /// publisher is out of range.
+    pub fn publish_batch(&self, events: &[(NodeId, Event)]) -> Vec<PublishOutcome> {
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(events.len());
+        if threads <= 1 {
+            let mut scratch = MatchScratch::new();
+            return events
+                .iter()
+                .map(|(b, e)| self.publish_with_scratch(*b, e, &mut scratch))
+                .collect();
+        }
+        let chunk = events.len().div_ceil(threads);
+        let mut results: Vec<Option<PublishOutcome>> = Vec::new();
+        results.resize_with(events.len(), || None);
+        std::thread::scope(|scope| {
+            for (evs, out) in events.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    let mut scratch = MatchScratch::new();
+                    for ((b, e), slot) in evs.iter().zip(out.iter_mut()) {
+                        *slot = Some(self.publish_with_scratch(*b, e, &mut scratch));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|o| o.expect("every batch slot is filled by its worker"))
+            .collect()
     }
 
     /// The exact matches an omniscient oracle would deliver — used by
@@ -692,6 +756,37 @@ mod tests {
             got.sort();
             assert_eq!(got, oracle, "publisher {publisher}");
         }
+    }
+
+    #[test]
+    fn publish_batch_matches_sequential_publishes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let mut workload =
+            subsum_workload::Workload::new(subsum_workload::PaperParams::default(), 0.7);
+        let schema = workload.schema().clone();
+        let mut sys = SummaryPubSub::new(Topology::cable_wireless_24(), schema, 1000).unwrap();
+        for b in 0..24u16 {
+            for _ in 0..4 {
+                let sub = workload.subscription(&mut rng);
+                sys.subscribe(b, &sub).unwrap();
+            }
+        }
+        sys.propagate().unwrap();
+        let batch: Vec<(NodeId, Event)> = (0..40)
+            .map(|_| (rng.gen_range(0..24u16), workload.event(0.7, &mut rng)))
+            .collect();
+        let batched = sys.publish_batch(&batch);
+        assert_eq!(batched.len(), batch.len());
+        for ((b, e), out) in batch.iter().zip(&batched) {
+            let seq = sys.publish(*b, e);
+            assert_eq!(out.deliveries, seq.deliveries);
+            assert_eq!(out.false_positives, seq.false_positives);
+            assert_eq!(out.routing.visits, seq.routing.visits);
+            assert_eq!(out.routing.metrics, seq.routing.metrics);
+        }
+        assert!(sys.publish_batch(&[]).is_empty());
     }
 
     #[test]

@@ -215,19 +215,32 @@ impl RangeSummary {
 
     /// As [`RangeSummary::query`], appending into a caller buffer (hot
     /// path for the matcher).
-    pub fn query_into(&self, v: Num, out: &mut IdList) {
-        // Binary search over the disjoint sorted rows.
-        let idx = self
-            .ranges
-            .partition_point(|row| upper_below(&row.interval, v));
-        if let Some(row) = self.ranges.get(idx) {
-            if row.interval.contains(v) {
-                out.extend_from_slice(&row.ids);
+    ///
+    /// Returns the number of rows actually probed: the `⌈log₂ n_sr⌉ + 1`
+    /// comparisons of the binary search over the sub-range partition plus
+    /// one equality-map probe when AACS_E is non-empty (the honest cost
+    /// for the §5.2.4 accounting — the old code charged a flat constant).
+    pub fn query_into(&self, v: Num, out: &mut IdList) -> usize {
+        let mut probed = 0usize;
+        if !self.ranges.is_empty() {
+            // Binary search over the disjoint sorted rows.
+            probed += (usize::BITS - self.ranges.len().leading_zeros()) as usize;
+            let idx = self
+                .ranges
+                .partition_point(|row| upper_below(&row.interval, v));
+            if let Some(row) = self.ranges.get(idx) {
+                if row.interval.contains(v) {
+                    out.extend_from_slice(&row.ids);
+                }
             }
         }
-        if let Some(list) = self.points.get(&v) {
-            out.extend_from_slice(list);
+        if !self.points.is_empty() {
+            probed += 1;
+            if let Some(list) = self.points.get(&v) {
+                out.extend_from_slice(list);
+            }
         }
+        probed
     }
 
     /// Removes every occurrence of `id`, dropping empty rows.

@@ -59,7 +59,7 @@ mod wire;
 
 pub use aacs::{RangeRow, RangeSummary};
 pub use idlist::IdList;
-pub use sacs::{PatternRow, PatternSummary};
+pub use sacs::{PatternRow, PatternSummary, QueryCost};
 pub use stats::{SizeParams, SummaryStats};
-pub use summary::{BrokerSummary, MatchOutcome, MatchStats};
+pub use summary::{BrokerSummary, MatchOutcome, MatchScratch, MatchStats};
 pub use wire::{ArithWidth, SummaryCodec, WireError};

@@ -22,16 +22,48 @@
 //! Rows are stored in two groups: wildcard-free rows in a hash map keyed
 //! by their literal (equality constraints dominate real workloads, and
 //! this makes their insertion, merging and querying `O(1)`), and rows
-//! with wildcards in a vector scanned linearly. The covering invariant —
-//! no row's pattern covers another row's — holds across both groups.
+//! with wildcards in a vector. The covering invariant — no row's pattern
+//! covers another row's — holds across both groups.
+//!
+//! # The pattern index
+//!
+//! Wildcard rows are additionally indexed by their *anchor bytes* so a
+//! query only tests rows whose anchors can possibly match the value:
+//!
+//! * rows whose pattern is anchored at the start (`OT*`, `a*c`) are
+//!   bucketed by the first byte of their first literal segment — a value
+//!   `s` can only match them if `s` starts with that byte;
+//! * rows anchored only at the end (`*SE`) are bucketed by the last byte
+//!   of their last literal segment — `s` must end with that byte;
+//! * rows with no usable anchor (`*a*`, the universal pattern) live in a
+//!   residual bucket that every query tests.
+//!
+//! The same buckets prune the covering checks on insertion and merging:
+//! a row can only *cover* a start-anchored pattern if it is itself
+//! start-anchored on the same first byte (or unanchored), symmetrically
+//! for end anchors, so only those buckets are probed. The substitution
+//! path (a new pattern absorbing the rows it covers) remains a full scan:
+//! it fires rarely and must visit every absorbed row anyway.
+//!
+//! The index holds row *positions* and is rebuilt whenever rows are
+//! retained/removed; it is a pure function of the row vector, so derived
+//! equality stays consistent and (de)serialization reconstructs it.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use subsum_telemetry::Count;
 use subsum_types::{Pattern, SubscriptionId};
 
 use crate::idlist::{idlist_merge, IdList};
+
+/// Wildcard rows tested because an index bucket selected them (plus
+/// literal-map hits), across all queries.
+static CNT_INDEX_HITS: Count = Count::new("sacs.index_hits");
+/// Wildcard rows skipped by the anchor buckets, across all queries — the
+/// work the flat scan of the pre-index matcher would have done.
+static CNT_ROWS_PRUNED: Count = Count::new("sacs.rows_pruned");
 
 /// One row of a SACS array: a general constraint and the ids of the
 /// subscriptions it stands for.
@@ -42,6 +74,106 @@ pub struct PatternRow {
     /// Subscriptions whose constraint on this attribute is covered by
     /// the row's pattern.
     pub ids: IdList,
+}
+
+/// The work one indexed [`PatternSummary::query_into`] performed, for the
+/// honest §5.2.4 cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCost {
+    /// Rows actually probed: the literal-map probe (when the map is
+    /// non-empty) plus every wildcard row an index bucket selected.
+    pub rows_touched: usize,
+    /// Wildcard rows the index skipped without testing.
+    pub rows_pruned: usize,
+}
+
+/// Anchor-byte buckets over the wildcard-row positions.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct PatternIndex {
+    /// Positions of start-anchored rows, keyed by the first byte of the
+    /// first literal segment.
+    prefix: HashMap<u8, Vec<usize>>,
+    /// Positions of rows anchored only at the end, keyed by the last
+    /// byte of the last literal segment.
+    suffix: HashMap<u8, Vec<usize>>,
+    /// Positions of rows with no usable anchor (incl. the universal
+    /// pattern).
+    residual: Vec<usize>,
+}
+
+impl PatternIndex {
+    fn insert(&mut self, pos: usize, pattern: &Pattern) {
+        if pattern.anchored_start() {
+            if let Some(&b) = pattern
+                .segments()
+                .first()
+                .and_then(|s| s.as_bytes().first())
+            {
+                self.prefix.entry(b).or_default().push(pos);
+                return;
+            }
+        } else if pattern.anchored_end() {
+            if let Some(&b) = pattern.segments().last().and_then(|s| s.as_bytes().last()) {
+                self.suffix.entry(b).or_default().push(pos);
+                return;
+            }
+        }
+        self.residual.push(pos);
+    }
+
+    fn rebuild(&mut self, rows: &[PatternRow]) {
+        self.prefix.clear();
+        self.suffix.clear();
+        self.residual.clear();
+        for (pos, row) in rows.iter().enumerate() {
+            self.insert(pos, &row.pattern);
+        }
+    }
+
+    /// Positions of every row that could match the value `s`: the prefix
+    /// bucket of `s`'s first byte, the suffix bucket of its last byte,
+    /// and the residual bucket. Anchored rows have non-empty segments, so
+    /// the empty value is served by the residual bucket alone.
+    fn value_candidates(&self, s: &str) -> impl Iterator<Item = usize> + '_ {
+        let first = s.as_bytes().first().and_then(|b| self.prefix.get(b));
+        let last = s.as_bytes().last().and_then(|b| self.suffix.get(b));
+        first
+            .into_iter()
+            .flatten()
+            .chain(last.into_iter().flatten())
+            .chain(self.residual.iter())
+            .copied()
+    }
+
+    /// Positions of every row that could *cover* the wildcard pattern
+    /// `p`. A start-anchored coverer's first segment must be a prefix of
+    /// `p`'s (same first byte), so only `p`'s own prefix bucket applies —
+    /// and only when `p` is start-anchored itself, since a start-anchored
+    /// row never covers a pattern that can start arbitrarily.
+    /// Symmetrically for end anchors; residual rows can cover anything.
+    fn coverer_candidates(&self, p: &Pattern) -> impl Iterator<Item = usize> + '_ {
+        let pref = if p.anchored_start() {
+            p.segments()
+                .first()
+                .and_then(|s| s.as_bytes().first())
+                .and_then(|b| self.prefix.get(b))
+        } else {
+            None
+        };
+        let suf = if p.anchored_end() {
+            p.segments()
+                .last()
+                .and_then(|s| s.as_bytes().last())
+                .and_then(|b| self.suffix.get(b))
+        } else {
+            None
+        };
+        pref.into_iter()
+            .flatten()
+            .chain(suf.into_iter().flatten())
+            .chain(self.residual.iter())
+            .copied()
+    }
 }
 
 /// The string constraint summary for a single attribute.
@@ -66,11 +198,45 @@ pub struct PatternRow {
 /// assert_eq!(sacs.query("micronet"), vec![id(1), id(2)]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(from = "PatternSummaryWire", into = "PatternSummaryWire")]
 pub struct PatternSummary {
     /// Wildcard-free rows, keyed by their literal value.
     literals: HashMap<String, IdList>,
-    /// Rows containing wildcards, scanned in insertion order.
+    /// Rows containing wildcards, in insertion order.
     patterns: Vec<PatternRow>,
+    /// Anchor-byte index over `patterns` (derived state; rebuilt on
+    /// deserialization and after row removals).
+    index: PatternIndex,
+}
+
+/// The serialized shape of a [`PatternSummary`]: the index is derived
+/// state and is reconstructed on deserialization instead of traveling.
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "PatternSummary")]
+struct PatternSummaryWire {
+    literals: HashMap<String, IdList>,
+    patterns: Vec<PatternRow>,
+}
+
+impl From<PatternSummary> for PatternSummaryWire {
+    fn from(s: PatternSummary) -> Self {
+        PatternSummaryWire {
+            literals: s.literals,
+            patterns: s.patterns,
+        }
+    }
+}
+
+impl From<PatternSummaryWire> for PatternSummary {
+    fn from(w: PatternSummaryWire) -> Self {
+        let mut index = PatternIndex::default();
+        index.rebuild(&w.patterns);
+        PatternSummary {
+            literals: w.literals,
+            patterns: w.patterns,
+            index,
+        }
+    }
 }
 
 impl PatternSummary {
@@ -87,6 +253,12 @@ impl PatternSummary {
     /// The number of rows (`n_r` in the paper's size equations).
     pub fn row_count(&self) -> usize {
         self.literals.len() + self.patterns.len()
+    }
+
+    /// The number of wildcard rows in the residual (unanchored) index
+    /// bucket — the rows every query must test.
+    pub fn residual_rows(&self) -> usize {
+        self.index.residual.len()
     }
 
     /// Iterates over all rows in a deterministic order: wildcard rows in
@@ -131,9 +303,14 @@ impl PatternSummary {
             return;
         }
         if let Some(lit) = pattern.as_literal() {
-            // Covered by a wildcard row: join it.
-            if let Some(row) = self.patterns.iter_mut().find(|r| r.pattern.matches(lit)) {
-                idlist_merge(&mut row.ids, ids);
+            // Covered by a wildcard row: join it. Only rows in the
+            // value's anchor buckets can match the literal.
+            if let Some(pos) = self
+                .index
+                .value_candidates(lit)
+                .find(|&i| self.patterns[i].pattern.matches(lit))
+            {
+                idlist_merge(&mut self.patterns[pos].ids, ids);
                 return;
             }
             // Exact literal row (or a new one).
@@ -142,18 +319,21 @@ impl PatternSummary {
             return;
         }
         // A wildcard pattern. Covered by an existing wildcard row: join.
-        if let Some(row) = self
-            .patterns
-            .iter_mut()
-            .find(|r| r.pattern.covers(&pattern))
+        if let Some(pos) = self
+            .index
+            .coverer_candidates(&pattern)
+            .find(|&i| self.patterns[i].pattern.covers(&pattern))
         {
-            idlist_merge(&mut row.ids, ids);
+            idlist_merge(&mut self.patterns[pos].ids, ids);
             return;
         }
-        // The new constraint substitutes every row it covers.
+        // The new constraint substitutes every row it covers. This is
+        // the rare path and must visit every absorbed row, so it stays a
+        // full scan; the index is rebuilt over the survivors.
         let mut merged: IdList = ids.to_vec();
         merged.sort();
         merged.dedup();
+        let before = self.patterns.len();
         self.patterns.retain(|row| {
             if pattern.covers(&row.pattern) {
                 idlist_merge(&mut merged, &row.ids);
@@ -170,27 +350,68 @@ impl PatternSummary {
                 true
             }
         });
+        let absorbed = before != self.patterns.len();
         self.patterns.push(PatternRow {
-            pattern,
+            pattern: pattern.clone(),
             ids: merged,
         });
+        if absorbed {
+            self.index.rebuild(&self.patterns);
+        } else {
+            self.index.insert(self.patterns.len() - 1, &pattern);
+        }
     }
 
     /// All subscription ids whose summarized constraint is satisfied by
     /// the value `s` — the `Check_for_a_value_match (type string)`
-    /// procedure of §3.3: scan rows, test coverage of the value.
+    /// procedure of §3.3, served through the pattern index.
     pub fn query(&self, s: &str) -> IdList {
         let mut out = IdList::new();
         self.query_into(s, &mut out);
         out
     }
 
-    /// As [`PatternSummary::query`], appending into a caller buffer.
+    /// As [`PatternSummary::query`], appending into a caller buffer (hot
+    /// path for the matcher) and reporting the rows actually probed.
     ///
     /// The output may contain duplicate ids when a subscription holds
     /// several constraints on this attribute; the matcher deduplicates
     /// per attribute.
-    pub fn query_into(&self, s: &str, out: &mut IdList) {
+    pub fn query_into(&self, s: &str, out: &mut IdList) -> QueryCost {
+        let mut cost = QueryCost::default();
+        if !self.literals.is_empty() {
+            cost.rows_touched += 1;
+            if let Some(ids) = self.literals.get(s) {
+                out.extend_from_slice(ids);
+            }
+        }
+        let mut tested = 0usize;
+        for pos in self.index.value_candidates(s) {
+            tested += 1;
+            let row = &self.patterns[pos];
+            if row.pattern.matches(s) {
+                out.extend_from_slice(&row.ids);
+            }
+        }
+        cost.rows_touched += tested;
+        cost.rows_pruned = self.patterns.len() - tested;
+        CNT_INDEX_HITS.add(cost.rows_touched as u64);
+        CNT_ROWS_PRUNED.add(cost.rows_pruned as u64);
+        cost
+    }
+
+    /// Reference implementation of [`PatternSummary::query`] as a flat
+    /// scan over every wildcard row, bypassing the pattern index.
+    /// Retained for differential testing and the benchmark's
+    /// before/after comparison; results equal `query` up to ordering.
+    pub fn query_scan(&self, s: &str) -> IdList {
+        let mut out = IdList::new();
+        self.query_scan_into(s, &mut out);
+        out
+    }
+
+    /// As [`PatternSummary::query_scan`], appending into a caller buffer.
+    pub fn query_scan_into(&self, s: &str, out: &mut IdList) {
         if let Some(ids) = self.literals.get(s) {
             out.extend_from_slice(ids);
         }
@@ -218,7 +439,11 @@ impl PatternSummary {
                 row.ids.remove(pos);
             }
         }
+        let before = self.patterns.len();
         self.patterns.retain(|r| !r.ids.is_empty());
+        if self.patterns.len() != before {
+            self.index.rebuild(&self.patterns);
+        }
     }
 
     /// Merges another attribute summary into this one (multi-broker
@@ -230,9 +455,14 @@ impl PatternSummary {
         }
         for (lit, ids) in &other.literals {
             // Fast path: if no wildcard row covers the literal, merge
-            // directly into the literal map.
-            if let Some(row) = self.patterns.iter_mut().find(|r| r.pattern.matches(lit)) {
-                idlist_merge(&mut row.ids, ids);
+            // directly into the literal map. Only anchor-bucket rows can
+            // match the literal.
+            if let Some(pos) = self
+                .index
+                .value_candidates(lit)
+                .find(|&i| self.patterns[i].pattern.matches(lit))
+            {
+                idlist_merge(&mut self.patterns[pos].ids, ids);
             } else {
                 idlist_merge(self.literals.entry(lit.clone()).or_default(), ids);
             }
@@ -259,6 +489,12 @@ mod tests {
 
     fn pat(s: &str) -> Pattern {
         Pattern::parse(s).unwrap()
+    }
+
+    /// Sorted copies, for comparisons that ignore bucket visit order.
+    fn sorted(mut ids: IdList) -> IdList {
+        ids.sort();
+        ids
     }
 
     #[test]
@@ -306,7 +542,7 @@ mod tests {
         sacs.insert(pat("OT*"), id(1));
         sacs.insert(pat("*SE"), id(2));
         assert_eq!(sacs.row_count(), 2);
-        assert_eq!(sacs.query("OTSE"), vec![id(1), id(2)]);
+        assert_eq!(sorted(sacs.query("OTSE")), vec![id(1), id(2)]);
         assert_eq!(sacs.query("OTE"), vec![id(1)]);
         assert_eq!(sacs.query("NYSE"), vec![id(2)]);
     }
@@ -431,5 +667,61 @@ mod tests {
         let rb: Vec<_> = b.rows().map(|(p, _)| p.to_string()).collect();
         assert_eq!(ra, rb);
         assert_eq!(ra, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn index_prunes_disjoint_anchors() {
+        // 26 prefix rows, one suffix row, one residual row: a query only
+        // tests its own buckets plus the residual.
+        let mut sacs = PatternSummary::new();
+        for (k, c) in ('a'..='z').enumerate() {
+            sacs.insert(pat(&format!("{c}{c}*")), id(k as u32));
+        }
+        sacs.insert(pat("*zz"), id(100));
+        sacs.insert(pat("*mid*"), id(101));
+        assert_eq!(sacs.residual_rows(), 1);
+
+        let mut out = IdList::new();
+        let cost = sacs.query_into("qqx", &mut out);
+        assert_eq!(out, vec![id(16)]);
+        // Tested: prefix['q'] (1 row) + no suffix bucket for 'x' + the
+        // residual row = 2 of 28 wildcard rows.
+        assert_eq!(cost.rows_touched, 2);
+        assert_eq!(cost.rows_pruned, 26);
+
+        let cost = sacs.query_into("zzz", &mut out);
+        assert_eq!(cost.rows_pruned, 25); // prefix['z'] + suffix['z'] + residual
+    }
+
+    #[test]
+    fn indexed_query_equals_scan_reference() {
+        let mut sacs = PatternSummary::new();
+        let patterns = [
+            "OT*", "*SE", "O*E", "*T*", "lit", "", "*", "a*b*c", "zz*", "*zz",
+        ];
+        for (k, s) in patterns.iter().enumerate() {
+            sacs.insert(pat(s), id(k as u32));
+        }
+        for value in ["", "OTSE", "OTE", "abc", "aXbYc", "lit", "zz", "zzz", "q"] {
+            assert_eq!(
+                sorted(sacs.query(value)),
+                sorted(sacs.query_scan(value)),
+                "value {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_conversion_rebuilds_index() {
+        // The serde impls funnel through `PatternSummaryWire` (the index
+        // is derived state); the conversion pair must reconstruct it.
+        let mut sacs = PatternSummary::new();
+        sacs.insert(pat("OT*"), id(1));
+        sacs.insert(pat("*SE"), id(2));
+        sacs.insert(pat("lit"), id(3));
+        let back = PatternSummary::from(PatternSummaryWire::from(sacs.clone()));
+        assert_eq!(back, sacs);
+        assert_eq!(sorted(back.query("OTSE")), vec![id(1), id(2)]);
+        assert_eq!(back.query("lit"), vec![id(3)]);
     }
 }

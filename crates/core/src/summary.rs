@@ -14,10 +14,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use subsum_telemetry::Stage;
+use subsum_telemetry::{Count, Stage};
 use subsum_types::{AttrKind, Event, NormalizedAttr, Schema, Subscription, SubscriptionId};
 
 use crate::aacs::{IdList, RangeSummary};
+use crate::idlist::{idlist_insert, idlist_merge};
 use crate::sacs::PatternSummary;
 
 /// Telemetry stages of the summary hot paths (recorded only while the
@@ -25,6 +26,9 @@ use crate::sacs::PatternSummary;
 static STAGE_INSERT: Stage = Stage::new("core.summary.insert");
 static STAGE_MERGE: Stage = Stage::new("core.summary.merge");
 static STAGE_MATCH: Stage = Stage::new("core.summary.match");
+/// Matches served by a warm (previously used) [`MatchScratch`] — i.e.
+/// matches that performed no steady-state heap allocation.
+static CNT_SCRATCH_REUSE: Count = Count::new("match.scratch_reuse");
 
 /// A complete subscription summary for one (or, after merging, several)
 /// broker(s): one AACS per arithmetic attribute and one SACS per string
@@ -72,6 +76,11 @@ pub struct BrokerSummary {
     arith: Vec<Option<RangeSummary>>,
     /// Indexed by attribute id; `None` for arithmetic attributes.
     strings: Vec<Option<PatternSummary>>,
+    /// The sorted distinct subscription ids present in any row — a
+    /// maintained counter-cache so `subscription_count` is `O(1)` instead
+    /// of flattening every id list. Invariant: equals
+    /// [`BrokerSummary::subscription_ids`].
+    known: IdList,
 }
 
 impl BrokerSummary {
@@ -82,6 +91,7 @@ impl BrokerSummary {
             schema,
             arith: vec![None; n],
             strings: vec![None; n],
+            known: IdList::new(),
         }
     }
 
@@ -120,6 +130,7 @@ impl BrokerSummary {
         let _span = STAGE_INSERT.start();
         debug_assert_eq!(id.mask, sub.attr_mask(), "id mask must match constraints");
         let normalized = sub.normalize();
+        let mut touched = false;
         for (attr, na) in normalized.iter() {
             match na {
                 NormalizedAttr::Arithmetic(set) => {
@@ -132,6 +143,7 @@ impl BrokerSummary {
                     }
                     let slot = self.arith[attr.index()].get_or_insert_with(RangeSummary::new);
                     slot.insert_set(set, id);
+                    touched = true;
                 }
                 NormalizedAttr::String(constraints) => {
                     let slot = self.strings[attr.index()].get_or_insert_with(PatternSummary::new);
@@ -140,9 +152,16 @@ impl BrokerSummary {
                         // over-approximation, re-verified at the home
                         // broker.
                         slot.insert(c.over_approximation(), id);
+                        touched = true;
                     }
                 }
             }
+        }
+        // Only ids that left a trace in some row are "known": an
+        // everywhere-unsatisfiable subscription is absent from the rows,
+        // so it must not be counted either.
+        if touched {
+            idlist_insert(&mut self.known, id);
         }
     }
 
@@ -159,6 +178,9 @@ impl BrokerSummary {
             if let Some(Some(s)) = self.strings.get_mut(attr.index()) {
                 s.remove(id);
             }
+        }
+        if let Ok(pos) = self.known.binary_search(&id) {
+            self.known.remove(pos);
         }
     }
 
@@ -202,6 +224,7 @@ impl BrokerSummary {
                     .merge(theirs);
             }
         }
+        idlist_merge(&mut self.known, &other.known);
     }
 
     /// Inserts a raw AACS sub-range row (decoder and merge internals).
@@ -211,9 +234,13 @@ impl BrokerSummary {
         iv: subsum_types::Interval,
         ids: &[SubscriptionId],
     ) {
+        if iv.is_empty() || ids.is_empty() {
+            return;
+        }
         self.arith[attr.index()]
             .get_or_insert_with(RangeSummary::new)
             .insert_interval_ids(iv, ids);
+        idlist_merge(&mut self.known, ids);
     }
 
     /// Inserts a raw AACS equality row (decoder internals).
@@ -223,9 +250,13 @@ impl BrokerSummary {
         v: subsum_types::Num,
         ids: &[SubscriptionId],
     ) {
+        if ids.is_empty() {
+            return;
+        }
         self.arith[attr.index()]
             .get_or_insert_with(RangeSummary::new)
             .insert_point_ids(v, ids);
+        idlist_merge(&mut self.known, ids);
     }
 
     /// Inserts a raw SACS row (decoder internals).
@@ -235,9 +266,13 @@ impl BrokerSummary {
         pattern: subsum_types::Pattern,
         ids: &[SubscriptionId],
     ) {
+        if ids.is_empty() {
+            return;
+        }
         self.strings[attr.index()]
             .get_or_insert_with(PatternSummary::new)
             .insert_ids(pattern, ids);
+        idlist_merge(&mut self.known, ids);
     }
 
     /// The AACS for an attribute, if any constraint was recorded.
@@ -262,33 +297,68 @@ impl BrokerSummary {
     /// As [`BrokerSummary::match_event`], also reporting work counters
     /// for the computational-cost experiments (§5.2.4).
     ///
+    /// Thin wrapper over [`BrokerSummary::match_event_into`] with a
+    /// one-shot scratch; hot paths should hold a [`MatchScratch`] and
+    /// call `match_event_into` directly.
+    pub fn match_event_with_stats(&self, event: &Event) -> MatchOutcome {
+        let mut scratch = MatchScratch::new();
+        self.match_event_into(event, &mut scratch);
+        scratch.outcome
+    }
+
+    /// Matches an event against the summary using caller-owned scratch
+    /// buffers — the allocation-free hot path of Algorithm 1.
+    ///
     /// The per-id counters of Algorithm 1 are realized by sorting the
     /// concatenation of the per-attribute id sets and counting run
     /// lengths — `O(P log P)` in the `P` collected ids, with far better
-    /// constants than hashing each id.
-    pub fn match_event_with_stats(&self, event: &Event) -> MatchOutcome {
+    /// constants than hashing each id. All working memory (the collected
+    /// ids, the per-attribute set, the matched output) lives in
+    /// `scratch`, so once the buffers have grown to the workload's
+    /// high-water mark the matcher performs **zero heap allocations**
+    /// (`sort_unstable` is in-place pdqsort; the per-attribute queries
+    /// append into the scratch buffers).
+    ///
+    /// The returned reference borrows `scratch`; the outcome stays
+    /// readable until the next `match_event_into` call with the same
+    /// scratch.
+    pub fn match_event_into<'s>(
+        &self,
+        event: &Event,
+        scratch: &'s mut MatchScratch,
+    ) -> &'s MatchOutcome {
         let _span = STAGE_MATCH.start();
-        let mut collected = IdList::new();
-        let mut scratch = IdList::new();
+        let MatchScratch {
+            collected,
+            per_attr,
+            outcome,
+            used,
+        } = scratch;
+        if *used {
+            CNT_SCRATCH_REUSE.inc();
+        }
+        *used = true;
+        collected.clear();
+        outcome.matched.clear();
         let mut stats = MatchStats::default();
 
         // Step 1: per event attribute, collect satisfied id lists.
         for (attr, value) in event.iter() {
-            scratch.clear();
+            per_attr.clear();
             match self.schema.kind(attr) {
                 k if k.is_arithmetic() => {
                     if let Some(s) = self.arith_summary(attr) {
                         if let Some(v) = value.as_num() {
-                            s.query_into(v, &mut scratch);
-                            stats.rows_scanned += 1 + s.point_rows().min(1);
+                            stats.rows_scanned += s.query_into(v, per_attr);
                         }
                     }
                 }
                 AttrKind::String => {
                     if let Some(s) = self.string_summary(attr) {
                         if let Some(v) = value.as_str() {
-                            s.query_into(v, &mut scratch);
-                            stats.rows_scanned += s.row_count();
+                            let cost = s.query_into(v, per_attr);
+                            stats.rows_scanned += cost.rows_touched;
+                            stats.rows_pruned += cost.rows_pruned;
                         }
                     }
                 }
@@ -296,15 +366,67 @@ impl BrokerSummary {
             }
             // Count each subscription once per *attribute* even when it
             // holds several satisfied constraints on it.
-            scratch.sort_unstable();
-            scratch.dedup();
-            stats.ids_collected += scratch.len();
-            collected.extend_from_slice(&scratch);
+            per_attr.sort_unstable();
+            per_attr.dedup();
+            stats.ids_collected += per_attr.len();
+            collected.extend_from_slice(per_attr);
         }
 
         // Step 2: a subscription matches when its counter equals the
         // number of attributes in its c3 mask. Equal ids are adjacent
         // after sorting; count run lengths.
+        collected.sort_unstable();
+        let mut i = 0;
+        while i < collected.len() {
+            let id = collected[i];
+            let mut j = i + 1;
+            while j < collected.len() && collected[j] == id {
+                j += 1;
+            }
+            stats.candidates += 1;
+            if (j - i) as u32 == id.mask.count() {
+                outcome.matched.push(id);
+            }
+            i = j;
+        }
+        outcome.stats = stats;
+        outcome
+    }
+
+    /// Reference implementation of Algorithm 1 as flat scans over every
+    /// summary row, bypassing the SACS pattern index. Retained for
+    /// differential testing and the benchmark's before/after comparison;
+    /// `matched` equals [`BrokerSummary::match_event`] exactly (same
+    /// sorted order).
+    pub fn match_event_scan(&self, event: &Event) -> MatchOutcome {
+        let mut collected = IdList::new();
+        let mut per_attr = IdList::new();
+        let mut stats = MatchStats::default();
+        for (attr, value) in event.iter() {
+            per_attr.clear();
+            match self.schema.kind(attr) {
+                k if k.is_arithmetic() => {
+                    if let Some(s) = self.arith_summary(attr) {
+                        if let Some(v) = value.as_num() {
+                            stats.rows_scanned += s.query_into(v, &mut per_attr);
+                        }
+                    }
+                }
+                AttrKind::String => {
+                    if let Some(s) = self.string_summary(attr) {
+                        if let Some(v) = value.as_str() {
+                            s.query_scan_into(v, &mut per_attr);
+                            stats.rows_scanned += s.row_count();
+                        }
+                    }
+                }
+                _ => unreachable!("kinds are exhaustively partitioned"),
+            }
+            per_attr.sort_unstable();
+            per_attr.dedup();
+            stats.ids_collected += per_attr.len();
+            collected.extend_from_slice(&per_attr);
+        }
         collected.sort_unstable();
         let mut matched: Vec<SubscriptionId> = Vec::new();
         let mut i = 0;
@@ -323,29 +445,59 @@ impl BrokerSummary {
         MatchOutcome { matched, stats }
     }
 
-    /// Iterates over the distinct subscription ids present anywhere in
-    /// the summary.
+    /// The distinct subscription ids present anywhere in the summary,
+    /// sorted — one flat pass over the id lists, no per-structure
+    /// temporaries.
     pub fn subscription_ids(&self) -> Vec<SubscriptionId> {
         let mut ids: Vec<SubscriptionId> = self
             .arith
             .iter()
             .flatten()
-            .flat_map(|s| s.all_ids().collect::<Vec<_>>())
-            .chain(
-                self.strings
-                    .iter()
-                    .flatten()
-                    .flat_map(|s| s.all_ids().collect::<Vec<_>>()),
-            )
+            .flat_map(|s| s.all_ids())
+            .chain(self.strings.iter().flatten().flat_map(|s| s.all_ids()))
             .collect();
-        ids.sort();
+        ids.sort_unstable();
         ids.dedup();
         ids
     }
 
-    /// The number of distinct subscriptions summarized.
+    /// The number of distinct subscriptions summarized — `O(1)`, served
+    /// from the maintained id set.
     pub fn subscription_count(&self) -> usize {
-        self.subscription_ids().len()
+        self.known.len()
+    }
+}
+
+/// Reusable working memory for [`BrokerSummary::match_event_into`].
+///
+/// Holds the matcher's collected-id and per-attribute buffers plus the
+/// [`MatchOutcome`] it fills; reusing one scratch across events keeps the
+/// steady-state match loop free of heap allocations. A scratch is tied to
+/// no particular summary and may be reused across brokers.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Concatenated per-attribute id sets (Algorithm 1's multiset).
+    collected: IdList,
+    /// Per-attribute query buffer, deduplicated before concatenation.
+    per_attr: IdList,
+    /// The outcome of the most recent match.
+    outcome: MatchOutcome,
+    /// Whether this scratch has served a match before (drives the
+    /// `match.scratch_reuse` telemetry counter).
+    used: bool,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are then
+    /// retained.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    /// The outcome of the most recent [`BrokerSummary::match_event_into`]
+    /// served by this scratch.
+    pub fn outcome(&self) -> &MatchOutcome {
+        &self.outcome
     }
 }
 
@@ -413,8 +565,13 @@ pub struct MatchOutcome {
 /// Work counters accumulated during one [`BrokerSummary::match_event`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MatchStats {
-    /// Summary rows examined across all event attributes (the T₁ term).
+    /// Summary rows actually probed across all event attributes (the T₁
+    /// term): binary-search comparisons plus the equality probe for
+    /// AACS, literal probe plus index-selected wildcard rows for SACS.
     pub rows_scanned: usize,
+    /// SACS wildcard rows the pattern index skipped without testing —
+    /// the scan work the pre-index matcher would have performed.
+    pub rows_pruned: usize,
     /// Total ids collected from satisfied rows (the P of the T₂ term).
     pub ids_collected: usize,
     /// Distinct candidate subscriptions whose counters were checked.
@@ -696,5 +853,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_one_shot_outcome() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
+        let e = fig2_event(&schema);
+        let one_shot = summary.match_event_with_stats(&e);
+        let mut scratch = MatchScratch::new();
+        for _ in 0..3 {
+            let got = summary.match_event_into(&e, &mut scratch);
+            assert_eq!(got, &one_shot);
+        }
+        assert_eq!(scratch.outcome(), &one_shot);
+    }
+
+    #[test]
+    fn scan_reference_agrees_with_indexed_matcher() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
+        for e in [
+            fig2_event(&schema),
+            Event::builder(&schema)
+                .str("symbol", "OTX")
+                .unwrap()
+                .build(),
+            Event::builder(&schema).build(),
+        ] {
+            assert_eq!(
+                summary.match_event(&e),
+                summary.match_event_scan(&e).matched
+            );
+        }
+    }
+
+    #[test]
+    fn known_ids_track_subscription_ids() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        let id1 = summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        let id2 = summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
+        assert_eq!(summary.subscription_count(), 2);
+        assert_eq!(summary.subscription_ids(), summary.known);
+        // Unsatisfiable arithmetic conjunctions leave no trace and are
+        // not counted.
+        let unsat = Subscription::builder(&schema)
+            .num("price", NumOp::Lt, 1.0)
+            .unwrap()
+            .num("price", NumOp::Gt, 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        summary.insert(BrokerId(0), LocalSubId(3), &unsat);
+        assert_eq!(summary.subscription_count(), 2);
+        assert_eq!(summary.subscription_ids(), summary.known);
+        summary.remove(id1);
+        assert_eq!(summary.subscription_count(), 1);
+        assert_eq!(summary.subscription_ids(), vec![id2]);
+        assert_eq!(summary.subscription_ids(), summary.known);
+    }
+
+    #[test]
+    fn honest_stats_report_probes_and_pruning() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        // Disjoint prefix rows: a query should prune all but its own
+        // anchor bucket.
+        for (k, sym) in ["AA*", "BB*", "CC*", "DD*"].iter().enumerate() {
+            let sub = Subscription::builder(&schema)
+                .str_pattern("symbol", sym)
+                .unwrap()
+                .build()
+                .unwrap();
+            summary.insert(BrokerId(0), LocalSubId(k as u32), &sub);
+        }
+        let e = Event::builder(&schema)
+            .str("symbol", "AAPL")
+            .unwrap()
+            .build();
+        let outcome = summary.match_event_with_stats(&e);
+        assert_eq!(outcome.matched.len(), 1);
+        // Only the AA* row is probed; the other three are pruned.
+        assert_eq!(outcome.stats.rows_scanned, 1);
+        assert_eq!(outcome.stats.rows_pruned, 3);
     }
 }

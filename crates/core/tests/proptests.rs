@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
-use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
+use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, PatternSummary, SummaryCodec};
 use subsum_types::{
-    stock_schema, BrokerId, Event, IdLayout, LocalSubId, NumOp, Schema, StrOp, Subscription,
-    SubscriptionId, Value,
+    stock_schema, AttrMask, BrokerId, Event, IdLayout, LocalSubId, NumOp, Pattern, Schema, StrOp,
+    Subscription, SubscriptionId, Value,
 };
 
 /// Values drawn from a small shared domain so that subscriptions and
@@ -266,5 +266,56 @@ proptest! {
             .set("price", Value::float(v).unwrap()).unwrap()
             .build();
         prop_assert!(summary.match_event(&event).is_empty());
+    }
+
+    /// Differential check of the SACS pattern index: the indexed query
+    /// must return exactly the ids the retained naive full scan returns —
+    /// no false negatives from bucket pruning, no spurious extras, and
+    /// byte-identical ordering after sorting both sides. Patterns draw
+    /// from a tiny alphabet with wildcards so the prefix, suffix and
+    /// residual buckets all get exercised and collide with the values.
+    #[test]
+    fn indexed_pattern_query_is_identical_to_scan(
+        patterns in proptest::collection::vec("[ab*]{1,6}", 1..12),
+        values in proptest::collection::vec("[ab]{0,6}", 1..12)) {
+        let mut sacs = PatternSummary::new();
+        for (i, text) in patterns.iter().enumerate() {
+            if let Ok(p) = Pattern::parse(text) {
+                let id = SubscriptionId::new(BrokerId(0), LocalSubId(i as u32), AttrMask::empty());
+                sacs.insert(p, id);
+            }
+        }
+        for v in &values {
+            let mut indexed = sacs.query(v);
+            let mut scanned = sacs.query_scan(v);
+            indexed.sort_unstable();
+            scanned.sort_unstable();
+            prop_assert_eq!(indexed, scanned, "value {:?} over patterns {:?}", v, patterns);
+        }
+    }
+
+    /// Differential check of the full matcher: the scratch-reusing
+    /// indexed path returns exactly the same id sets as the naive
+    /// full-scan matcher. Both outputs are produced sorted, so equality
+    /// covers ordering too; the scratch is reused across events to also
+    /// exercise steady-state reuse.
+    #[test]
+    fn indexed_matcher_is_identical_to_scan(
+        subs in proptest::collection::vec(subscription(), 1..8),
+        events in proptest::collection::vec(event_strategy(), 1..8)) {
+        let schema = stock_schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                summary.insert(BrokerId(0), LocalSubId(i as u32), &sub);
+            }
+        }
+        let mut scratch = MatchScratch::new();
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let indexed = summary.match_event_into(&event, &mut scratch).matched.clone();
+            let scanned = summary.match_event_scan(&event).matched;
+            prop_assert_eq!(indexed, scanned);
+        }
     }
 }

@@ -1,0 +1,159 @@
+//! Steady-state allocation check for `BrokerSummary::match_event_into`.
+//!
+//! A counting allocator wraps the system allocator. After warm-up passes
+//! have grown a reused [`MatchScratch`] to its high-water capacity,
+//! further matches over the same event population must perform zero heap
+//! allocations: the whole point of the scratch API is that a broker's
+//! steady-state matching loop never touches the allocator.
+//!
+//! This lives in an integration test (its own crate root) because the
+//! library itself forbids `unsafe`, while a `GlobalAlloc` impl requires
+//! it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use subsum_core::{BrokerSummary, MatchScratch};
+use subsum_types::{stock_schema, BrokerId, Event, LocalSubId, NumOp, StrOp, Subscription};
+
+/// Counts every allocation-path entry; deallocations are not counted
+/// because releasing memory is not the failure mode under test.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn match_event_into_allocates_nothing_at_steady_state() {
+    let schema = stock_schema();
+    let mut summary = BrokerSummary::new(schema.clone());
+
+    // A mixed population: arithmetic ranges and points, string prefixes,
+    // suffixes and literals, so both the AACS and the indexed SACS query
+    // paths run during every match.
+    let subs: Vec<Subscription> = vec![
+        Subscription::builder(&schema)
+            .num("price", NumOp::Lt, 50.0)
+            .unwrap()
+            .build()
+            .unwrap(),
+        Subscription::builder(&schema)
+            .num("price", NumOp::Ge, 10.0)
+            .unwrap()
+            .num("volume", NumOp::Le, 900.0)
+            .unwrap()
+            .build()
+            .unwrap(),
+        Subscription::builder(&schema)
+            .num("volume", NumOp::Eq, 500.0)
+            .unwrap()
+            .build()
+            .unwrap(),
+        Subscription::builder(&schema)
+            .str_op("symbol", StrOp::Prefix, "AA")
+            .unwrap()
+            .build()
+            .unwrap(),
+        Subscription::builder(&schema)
+            .str_op("symbol", StrOp::Suffix, "PL")
+            .unwrap()
+            .build()
+            .unwrap(),
+        Subscription::builder(&schema)
+            .str_op("symbol", StrOp::Eq, "MSFT")
+            .unwrap()
+            .str_op("exchange", StrOp::Contains, "YS")
+            .unwrap()
+            .build()
+            .unwrap(),
+    ];
+    for (i, sub) in subs.iter().enumerate() {
+        summary.insert(BrokerId(0), LocalSubId(i as u32), sub);
+    }
+
+    let events: Vec<Event> = vec![
+        Event::builder(&schema)
+            .num("price", 25.0)
+            .unwrap()
+            .num("volume", 500.0)
+            .unwrap()
+            .str("symbol", "AAPL".to_string())
+            .unwrap()
+            .build(),
+        Event::builder(&schema)
+            .num("price", 75.0)
+            .unwrap()
+            .str("symbol", "MSFT".to_string())
+            .unwrap()
+            .str("exchange", "NYSE".to_string())
+            .unwrap()
+            .build(),
+        Event::builder(&schema)
+            .num("volume", 123.0)
+            .unwrap()
+            .str("symbol", "GOOG".to_string())
+            .unwrap()
+            .build(),
+    ];
+
+    let mut scratch = MatchScratch::new();
+
+    // Sanity: the fixture actually matches something, otherwise the test
+    // could pass by matching trivially empty work.
+    let warm: usize = events
+        .iter()
+        .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+        .sum();
+    assert!(warm > 0, "fixture must produce matches");
+
+    // The measured region can race with incidental allocations from the
+    // test harness itself (it has other threads), so allow a few retries:
+    // a real per-event allocation in the matcher shows up on every
+    // attempt, while one-off noise does not.
+    const PASSES: usize = 100;
+    let mut zero_delta = false;
+    let mut last_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut total = 0usize;
+        for _ in 0..PASSES {
+            for e in &events {
+                total += summary.match_event_into(e, &mut scratch).matched.len();
+            }
+        }
+        std::hint::black_box(total);
+        last_delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if last_delta == 0 {
+            zero_delta = true;
+            break;
+        }
+    }
+    assert!(
+        zero_delta,
+        "steady-state match_event_into allocated ({last_delta} allocations \
+         across {PASSES} passes)"
+    );
+}

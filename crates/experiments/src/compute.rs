@@ -23,7 +23,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use subsum_core::BrokerSummary;
+use subsum_core::{BrokerSummary, MatchScratch};
 use subsum_types::{BrokerId, Event, LocalSubId, Subscription};
 use subsum_workload::Workload;
 
@@ -69,8 +69,15 @@ pub fn run(cfg: &ExperimentConfig) -> ResultTable {
         let selective: Vec<Event> = (0..200).map(|_| workload.event(0.2, &mut rng)).collect();
         let popular: Vec<Event> = (0..200).map(|_| workload.event(0.7, &mut rng)).collect();
 
-        let summary_selective = measure_us(&selective, |e| summary.match_event(e).len());
-        let summary_popular = measure_us(&popular, |e| summary.match_event(e).len());
+        // The summary matcher runs through one reused scratch, as a
+        // steady-state broker would (zero allocations per event).
+        let mut scratch = MatchScratch::new();
+        let summary_selective = measure_us(&selective, |e| {
+            summary.match_event_into(e, &mut scratch).matched.len()
+        });
+        let summary_popular = measure_us(&popular, |e| {
+            summary.match_event_into(e, &mut scratch).matched.len()
+        });
         // The naive scan's cost is independent of selectivity: measure on
         // the popular mix (its best case for cache effects).
         let naive = measure_us(&popular, |e| subs.iter().filter(|s| s.matches(e)).count());

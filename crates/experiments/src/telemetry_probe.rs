@@ -109,18 +109,24 @@ pub fn run(cfg: &ExperimentConfig) -> ProbeOutcome {
         .clone();
     net.merge(&prop_metrics);
 
-    let mut events = 0usize;
-    let mut deliveries = 0usize;
-    let mut fp_rate_sum = 0.0;
+    // Publish through the batch path (per-thread scratch reuse); the
+    // batch is generated in the same rng order the sequential loop used,
+    // and outcomes come back in input order, so the probe's metrics stay
+    // deterministic.
+    let mut batch: Vec<(NodeId, subsum_types::Event)> = Vec::with_capacity(n * EVENTS_PER_BROKER);
     for b in 0..n as NodeId {
         for _ in 0..EVENTS_PER_BROKER {
-            let event = workload.event(0.7, &mut rng);
-            let out = sys.publish(b, &event);
-            events += 1;
-            deliveries += out.deliveries.len();
-            fp_rate_sum += out.false_positive_rate();
-            net.merge(&out.routing.metrics);
+            batch.push((b, workload.event(0.7, &mut rng)));
         }
+    }
+    let outcomes = sys.publish_batch(&batch);
+    let events = outcomes.len();
+    let mut deliveries = 0usize;
+    let mut fp_rate_sum = 0.0;
+    for out in &outcomes {
+        deliveries += out.deliveries.len();
+        fp_rate_sum += out.false_positive_rate();
+        net.merge(&out.routing.metrics);
     }
 
     // Phase 2: a tiny threaded deployment (runtime stages and mailbox
