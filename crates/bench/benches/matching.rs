@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use subsum_core::{BrokerSummary, MatchScratch, SummaryStats};
-use subsum_telemetry::{Json, RunReport};
+use subsum_telemetry::{names, Json, RunReport};
 use subsum_types::{stock_schema, BrokerId, Event, LocalSubId, StrOp, Subscription};
 use subsum_workload::{PaperParams, Workload};
 
@@ -280,9 +280,9 @@ fn emit_matching_report() {
             Json::obj([
                 ("rows_scanned", Json::UInt(rows_scanned as u64)),
                 ("rows_pruned", Json::UInt(rows_pruned as u64)),
-                ("sacs.index_hits", counter("sacs.index_hits")),
-                ("sacs.rows_pruned", counter("sacs.rows_pruned")),
-                ("match.scratch_reuse", counter("match.scratch_reuse")),
+                (names::SACS_INDEX_HITS, counter(names::SACS_INDEX_HITS)),
+                (names::SACS_ROWS_PRUNED, counter(names::SACS_ROWS_PRUNED)),
+                (names::MATCH_SCRATCH_REUSE, counter(names::MATCH_SCRATCH_REUSE)),
             ]),
         ),
     ]);

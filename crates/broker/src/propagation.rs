@@ -23,7 +23,7 @@ use subsum_net::{NetMetrics, NodeId, Topology};
 use subsum_telemetry::Stage;
 use subsum_types::TypeError;
 
-static STAGE_ROUND: Stage = Stage::new("propagate.round");
+static STAGE_ROUND: Stage = Stage::new(subsum_telemetry::names::PROPAGATE_ROUND);
 
 /// A broker's stored multi-broker summary: the merged structure plus the
 /// set of brokers whose subscriptions it covers.

@@ -20,7 +20,7 @@ use subsum_types::{Event, SubscriptionId};
 
 use crate::propagation::MergedSummary;
 
-static STAGE_CANDIDATE_MATCH: Stage = Stage::new("publish.candidate_match");
+static STAGE_CANDIDATE_MATCH: Stage = Stage::new(subsum_telemetry::names::PUBLISH_CANDIDATE_MATCH);
 
 /// Options for [`route_event`].
 #[derive(Debug, Clone, Default)]
@@ -197,7 +197,10 @@ pub fn route_event_with_scratch(
             break;
         }
         let dist_from_current = topology.distances(current);
-        let next = (0..n as NodeId)
+        // The completeness check above already broke out when every
+        // broker was covered, so a candidate always exists; the `else`
+        // arm keeps the routing hot path panic-free regardless.
+        let Some(next) = (0..n as NodeId)
             .filter(|&v| !brocli[v as usize])
             .min_by_key(|&v| {
                 (
@@ -206,7 +209,9 @@ pub fn route_event_with_scratch(
                     v,
                 )
             })
-            .expect("some broker remains outside BROCLI");
+        else {
+            break;
+        };
         metrics.record(
             current,
             next,

@@ -48,7 +48,7 @@ use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, Subscripti
 
 use crate::system::Delivery;
 
-static STAGE_HANDLE_MSG: Stage = Stage::new("runtime.handle_msg");
+static STAGE_HANDLE_MSG: Stage = Stage::new(subsum_telemetry::names::RUNTIME_HANDLE_MSG);
 
 /// Traffic counters reported by a threaded propagation phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -329,7 +329,10 @@ impl BrokerNetwork {
                 communicated: BTreeSet::new(),
                 scratch: MatchScratch::new(),
             };
-            let depth_gauge = subsum_telemetry::gauge(&format!("runtime.mailbox.{b}"));
+            let depth_gauge = subsum_telemetry::gauge(&format!(
+                "{}{b}",
+                subsum_telemetry::names::RUNTIME_MAILBOX_PREFIX
+            ));
             handles.push(std::thread::spawn(move || {
                 while let Ok(cmd) = rx.recv() {
                     if subsum_telemetry::enabled() {

@@ -31,14 +31,14 @@ use crate::routing::{route_event_with_scratch, RoutingOptions, RoutingOutcome};
 /// examined broker) and tier-2 owner verification
 /// (`publish.owner_verify`) — so a run report can answer where a
 /// publish's time goes.
-static STAGE_SUBSCRIBE: Stage = Stage::new("broker.subscribe");
-static STAGE_PROPAGATE: Stage = Stage::new("broker.propagate");
-static STAGE_ROUTE: Stage = Stage::new("publish.route");
-static STAGE_OWNER_VERIFY: Stage = Stage::new("publish.owner_verify");
-static CNT_EVENTS: Count = Count::new("publish.events");
-static CNT_CANDIDATES: Count = Count::new("publish.candidates");
-static CNT_DELIVERIES: Count = Count::new("publish.deliveries");
-static CNT_FALSE_POSITIVES: Count = Count::new("publish.false_positives");
+static STAGE_SUBSCRIBE: Stage = Stage::new(subsum_telemetry::names::BROKER_SUBSCRIBE);
+static STAGE_PROPAGATE: Stage = Stage::new(subsum_telemetry::names::BROKER_PROPAGATE);
+static STAGE_ROUTE: Stage = Stage::new(subsum_telemetry::names::PUBLISH_ROUTE);
+static STAGE_OWNER_VERIFY: Stage = Stage::new(subsum_telemetry::names::PUBLISH_OWNER_VERIFY);
+static CNT_EVENTS: Count = Count::new(subsum_telemetry::names::PUBLISH_EVENTS);
+static CNT_CANDIDATES: Count = Count::new(subsum_telemetry::names::PUBLISH_CANDIDATES);
+static CNT_DELIVERIES: Count = Count::new(subsum_telemetry::names::PUBLISH_DELIVERIES);
+static CNT_FALSE_POSITIVES: Count = Count::new(subsum_telemetry::names::PUBLISH_FALSE_POSITIVES);
 
 /// A confirmed delivery: the event matched this subscription exactly and
 /// its owner broker was notified.

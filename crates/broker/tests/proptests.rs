@@ -36,6 +36,16 @@ fn marker_event(schema: &Schema, matched: &[NodeId]) -> Event {
     Event::builder(schema).str("tag", tag).unwrap().build()
 }
 
+/// Deep structural validation of a broker summary; the validator only
+/// exists in debug builds when called from an integration test, so
+/// release-mode runs skip it rather than fail to compile.
+fn check_invariants(summary: &BrokerSummary) {
+    #[cfg(debug_assertions)]
+    summary.validate();
+    #[cfg(not(debug_assertions))]
+    let _ = summary;
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -61,6 +71,10 @@ proptest! {
         prop_assert!(out.covers_all_brokers());
         prop_assert!(out.hops() <= n as u64);
         for (b, stored) in out.stored.iter().enumerate() {
+            // Every hop of Algorithm 2 merges decoded summaries, so the
+            // stored result exercises merge + wire round-trip; validate
+            // each one deeply.
+            check_invariants(&stored.summary);
             prop_assert!(stored.merged_brokers.contains(&(b as NodeId)));
             let ids = stored.summary.subscription_ids();
             for &claimed in &stored.merged_brokers {
@@ -91,6 +105,9 @@ proptest! {
             })
             .collect();
         let stored = propagate(&topology, &own, &codec).unwrap().stored;
+        for s in &stored {
+            check_invariants(&s.summary);
+        }
         let mut matched: Vec<NodeId> = raw_matched.iter().map(|&x| (x % n) as NodeId).collect();
         matched.sort_unstable();
         matched.dedup();

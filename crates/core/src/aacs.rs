@@ -191,8 +191,9 @@ impl RangeSummary {
                 Some(last) if last.ids == row.ids => {
                     let union = IntervalSet::from_interval(last.interval)
                         .union(&IntervalSet::from_interval(row.interval));
-                    if union.len() == 1 {
-                        last.interval = *union.iter().next().expect("non-empty union");
+                    let mut parts = union.iter();
+                    if let (Some(&merged), None) = (parts.next(), parts.next()) {
+                        last.interval = merged;
                         continue;
                     }
                     out.push(row);
@@ -280,6 +281,54 @@ impl RangeSummary {
             .iter()
             .flat_map(|r| r.ids.iter().copied())
             .chain(self.points.values().flat_map(|l| l.iter().copied()))
+    }
+
+    /// Checks the deep structural invariants of the summary. Compiled
+    /// only for tests and debug builds; the property tests call it after
+    /// every insertion, merge, removal and wire round-trip.
+    ///
+    /// Invariants:
+    ///
+    /// * AACS_SR rows form a disjoint partition sorted by lower bound
+    ///   (§3.1, Fig. 4);
+    /// * no row is empty or degenerate — point rows live in AACS_E;
+    /// * every id list (rows and equality values) is non-empty, sorted
+    ///   and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    #[cfg(any(test, debug_assertions))]
+    pub fn validate(&self) {
+        use crate::idlist::validate_idlist;
+        for pair in self.ranges.windows(2) {
+            assert!(
+                cmp_lo(&pair[0].interval, &pair[1].interval) == std::cmp::Ordering::Less,
+                "AACS_SR rows out of order: {} then {}",
+                pair[0].interval,
+                pair[1].interval
+            );
+            assert!(
+                pair[0].interval.intersect(&pair[1].interval).is_empty(),
+                "AACS_SR rows overlap: {} and {}",
+                pair[0].interval,
+                pair[1].interval
+            );
+        }
+        for row in &self.ranges {
+            assert!(!row.interval.is_empty(), "empty AACS_SR row interval");
+            assert!(
+                row.interval.as_point().is_none(),
+                "degenerate AACS_SR row {} belongs in AACS_E",
+                row.interval
+            );
+            assert!(!row.ids.is_empty(), "AACS_SR row {} has no ids", row.interval);
+            validate_idlist(&row.ids);
+        }
+        for (v, ids) in &self.points {
+            assert!(!ids.is_empty(), "AACS_E row {v} has no ids");
+            validate_idlist(ids);
+        }
     }
 }
 
@@ -453,6 +502,45 @@ mod tests {
         assert!(aacs.query(n(507.0)).is_empty());
         assert_eq!(aacs.query(n(0.0)), vec![id(0)]);
         assert_eq!(aacs.query(n(995.0)), vec![id(99)]);
+    }
+
+    #[test]
+    fn validate_accepts_every_mutation_path() {
+        let mut aacs = RangeSummary::new();
+        aacs.validate();
+        aacs.insert_interval(Interval::closed(n(0.0), n(10.0)), id(1));
+        aacs.insert_interval(Interval::open(n(4.0), n(6.0)), id(2));
+        aacs.insert_point(n(20.0), id(3));
+        aacs.validate();
+        let mut other = RangeSummary::new();
+        other.insert_interval(Interval::greater_than(n(8.0)), id(4));
+        aacs.merge(&other);
+        aacs.validate();
+        aacs.remove(id(2));
+        aacs.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn validate_rejects_overlapping_partition() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(5.0)), id(1));
+        // Corrupt the partition behind the API's back: a second row
+        // overlapping the first.
+        aacs.ranges.push(RangeRow {
+            interval: Interval::closed(n(3.0), n(8.0)),
+            ids: vec![id(2)],
+        });
+        aacs.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly sorted")]
+    fn validate_rejects_unsorted_id_list() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(5.0)), id(1));
+        aacs.ranges[0].ids = vec![id(2), id(1)];
+        aacs.validate();
     }
 
     #[test]

@@ -13,6 +13,24 @@ pub(crate) fn idlist_insert(list: &mut IdList, id: SubscriptionId) {
     }
 }
 
+/// Asserts the [`IdList`] invariant: strictly ascending ids (sorted and
+/// deduplicated). Compiled only for tests and debug builds; the summary
+/// validators and the property tests call it after every mutation.
+///
+/// `IdList` is a type alias, so this is a free function rather than a
+/// method.
+///
+/// # Panics
+///
+/// Panics when the list is unsorted or contains duplicates.
+#[cfg(any(test, debug_assertions))]
+pub fn validate_idlist(list: &IdList) {
+    assert!(
+        list.windows(2).all(|w| w[0] < w[1]),
+        "id list is not strictly sorted: {list:?}"
+    );
+}
+
 /// Merges the sorted `other` into the sorted `list`.
 ///
 /// Small batches use insertion (cheap, in place); large batches use a

@@ -58,6 +58,8 @@ mod summary;
 mod wire;
 
 pub use aacs::{RangeRow, RangeSummary};
+#[cfg(any(test, debug_assertions))]
+pub use idlist::validate_idlist;
 pub use idlist::IdList;
 pub use sacs::{PatternRow, PatternSummary, QueryCost};
 pub use stats::{SizeParams, SummaryStats};

@@ -60,10 +60,10 @@ use crate::idlist::{idlist_merge, IdList};
 
 /// Wildcard rows tested because an index bucket selected them (plus
 /// literal-map hits), across all queries.
-static CNT_INDEX_HITS: Count = Count::new("sacs.index_hits");
+static CNT_INDEX_HITS: Count = Count::new(subsum_telemetry::names::SACS_INDEX_HITS);
 /// Wildcard rows skipped by the anchor buckets, across all queries — the
 /// work the flat scan of the pre-index matcher would have done.
-static CNT_ROWS_PRUNED: Count = Count::new("sacs.rows_pruned");
+static CNT_ROWS_PRUNED: Count = Count::new(subsum_telemetry::names::SACS_ROWS_PRUNED);
 
 /// One row of a SACS array: a general constraint and the ids of the
 /// subscriptions it stands for.
@@ -205,8 +205,10 @@ pub struct PatternSummary {
     /// Rows containing wildcards, in insertion order.
     patterns: Vec<PatternRow>,
     /// Anchor-byte index over `patterns` (derived state; rebuilt on
-    /// deserialization and after row removals).
-    index: PatternIndex,
+    /// deserialization and after row removals). The `lint: derived` tag
+    /// makes `cargo xtask check` reject any reference to this field from
+    /// the wire codec.
+    index: PatternIndex, // lint: derived
 }
 
 /// The serialized shape of a [`PatternSummary`]: the index is derived
@@ -476,6 +478,60 @@ impl PatternSummary {
             .flat_map(|l| l.iter().copied())
             .chain(self.patterns.iter().flat_map(|r| r.ids.iter().copied()))
     }
+
+    /// Checks the deep structural invariants of the summary. Compiled
+    /// only for tests and debug builds; the property tests call it after
+    /// every insertion, merge, removal and wire round-trip.
+    ///
+    /// Invariants:
+    ///
+    /// * every id list (literal and wildcard rows) is non-empty, sorted
+    ///   and deduplicated;
+    /// * rows are pairwise incomparable under [`Pattern::covers`] — no
+    ///   wildcard row covers another row, and no literal key is matched
+    ///   by any wildcard row (it would have joined that row);
+    /// * the anchor-byte index is exactly what a fresh rebuild over the
+    ///   row vector produces (index↔row coherence — the index is derived
+    ///   state and must never drift from the rows it summarizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    #[cfg(any(test, debug_assertions))]
+    pub fn validate(&self) {
+        use crate::idlist::validate_idlist;
+        for (lit, ids) in &self.literals {
+            assert!(!ids.is_empty(), "literal row {lit:?} has no ids");
+            validate_idlist(ids);
+        }
+        for row in &self.patterns {
+            assert!(!row.ids.is_empty(), "wildcard row {} has no ids", row.pattern);
+            validate_idlist(&row.ids);
+        }
+        for (i, a) in self.patterns.iter().enumerate() {
+            for (j, b) in self.patterns.iter().enumerate() {
+                assert!(
+                    i == j || !a.pattern.covers(&b.pattern),
+                    "row {} covers row {}",
+                    a.pattern,
+                    b.pattern
+                );
+            }
+            for lit in self.literals.keys() {
+                assert!(
+                    !a.pattern.matches(lit),
+                    "literal row {lit:?} is covered by wildcard row {}",
+                    a.pattern
+                );
+            }
+        }
+        let mut fresh = PatternIndex::default();
+        fresh.rebuild(&self.patterns);
+        assert!(
+            fresh == self.index,
+            "pattern index out of sync with the row vector"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -709,6 +765,50 @@ mod tests {
                 "value {value:?}"
             );
         }
+    }
+
+    #[test]
+    fn validate_accepts_every_mutation_path() {
+        let mut sacs = PatternSummary::new();
+        sacs.validate();
+        for (k, s) in ["a*", "*b", "ab", "a*c", "*a*", "xyz"].iter().enumerate() {
+            sacs.insert(pat(s), id(k as u32));
+            sacs.validate();
+        }
+        let mut other = PatternSummary::new();
+        other.insert(pat("x*"), id(40));
+        other.insert(pat("ab"), id(41));
+        sacs.merge(&other);
+        sacs.validate();
+        sacs.remove(id(0));
+        sacs.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn validate_rejects_stale_index() {
+        let mut sacs = PatternSummary::new();
+        sacs.insert(pat("OT*"), id(1));
+        // Corrupt the derived state behind the API's back: a new row the
+        // anchor buckets know nothing about.
+        sacs.patterns.push(PatternRow {
+            pattern: pat("*SE"),
+            ids: vec![id(2)],
+        });
+        sacs.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn validate_rejects_comparable_rows() {
+        let mut sacs = PatternSummary::new();
+        sacs.insert(pat("O*"), id(1));
+        sacs.patterns.push(PatternRow {
+            pattern: pat("OT*"),
+            ids: vec![id(2)],
+        });
+        sacs.index.rebuild(&sacs.patterns);
+        sacs.validate();
     }
 
     #[test]

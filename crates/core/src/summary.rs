@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use subsum_telemetry::{Count, Stage};
-use subsum_types::{AttrKind, Event, NormalizedAttr, Schema, Subscription, SubscriptionId};
+use subsum_types::{Event, NormalizedAttr, Schema, Subscription, SubscriptionId};
 
 use crate::aacs::{IdList, RangeSummary};
 use crate::idlist::{idlist_insert, idlist_merge};
@@ -23,12 +23,12 @@ use crate::sacs::PatternSummary;
 
 /// Telemetry stages of the summary hot paths (recorded only while the
 /// global recorder is enabled; see `subsum-telemetry`).
-static STAGE_INSERT: Stage = Stage::new("core.summary.insert");
-static STAGE_MERGE: Stage = Stage::new("core.summary.merge");
-static STAGE_MATCH: Stage = Stage::new("core.summary.match");
+static STAGE_INSERT: Stage = Stage::new(subsum_telemetry::names::CORE_SUMMARY_INSERT);
+static STAGE_MERGE: Stage = Stage::new(subsum_telemetry::names::CORE_SUMMARY_MERGE);
+static STAGE_MATCH: Stage = Stage::new(subsum_telemetry::names::CORE_SUMMARY_MATCH);
 /// Matches served by a warm (previously used) [`MatchScratch`] — i.e.
 /// matches that performed no steady-state heap allocation.
-static CNT_SCRATCH_REUSE: Count = Count::new("match.scratch_reuse");
+static CNT_SCRATCH_REUSE: Count = Count::new(subsum_telemetry::names::MATCH_SCRATCH_REUSE);
 
 /// A complete subscription summary for one (or, after merging, several)
 /// broker(s): one AACS per arithmetic attribute and one SACS per string
@@ -345,24 +345,20 @@ impl BrokerSummary {
         // Step 1: per event attribute, collect satisfied id lists.
         for (attr, value) in event.iter() {
             per_attr.clear();
-            match self.schema.kind(attr) {
-                k if k.is_arithmetic() => {
-                    if let Some(s) = self.arith_summary(attr) {
-                        if let Some(v) = value.as_num() {
-                            stats.rows_scanned += s.query_into(v, per_attr);
-                        }
+            // Attribute kinds partition into arithmetic and string, so a
+            // plain branch covers them without a panicking fallback arm.
+            if self.schema.kind(attr).is_arithmetic() {
+                if let Some(s) = self.arith_summary(attr) {
+                    if let Some(v) = value.as_num() {
+                        stats.rows_scanned += s.query_into(v, per_attr);
                     }
                 }
-                AttrKind::String => {
-                    if let Some(s) = self.string_summary(attr) {
-                        if let Some(v) = value.as_str() {
-                            let cost = s.query_into(v, per_attr);
-                            stats.rows_scanned += cost.rows_touched;
-                            stats.rows_pruned += cost.rows_pruned;
-                        }
-                    }
+            } else if let Some(s) = self.string_summary(attr) {
+                if let Some(v) = value.as_str() {
+                    let cost = s.query_into(v, per_attr);
+                    stats.rows_scanned += cost.rows_touched;
+                    stats.rows_pruned += cost.rows_pruned;
                 }
-                _ => unreachable!("kinds are exhaustively partitioned"),
             }
             // Count each subscription once per *attribute* even when it
             // holds several satisfied constraints on it.
@@ -404,23 +400,17 @@ impl BrokerSummary {
         let mut stats = MatchStats::default();
         for (attr, value) in event.iter() {
             per_attr.clear();
-            match self.schema.kind(attr) {
-                k if k.is_arithmetic() => {
-                    if let Some(s) = self.arith_summary(attr) {
-                        if let Some(v) = value.as_num() {
-                            stats.rows_scanned += s.query_into(v, &mut per_attr);
-                        }
+            if self.schema.kind(attr).is_arithmetic() {
+                if let Some(s) = self.arith_summary(attr) {
+                    if let Some(v) = value.as_num() {
+                        stats.rows_scanned += s.query_into(v, &mut per_attr);
                     }
                 }
-                AttrKind::String => {
-                    if let Some(s) = self.string_summary(attr) {
-                        if let Some(v) = value.as_str() {
-                            s.query_scan_into(v, &mut per_attr);
-                            stats.rows_scanned += s.row_count();
-                        }
-                    }
+            } else if let Some(s) = self.string_summary(attr) {
+                if let Some(v) = value.as_str() {
+                    s.query_scan_into(v, &mut per_attr);
+                    stats.rows_scanned += s.row_count();
                 }
-                _ => unreachable!("kinds are exhaustively partitioned"),
             }
             per_attr.sort_unstable();
             per_attr.dedup();
@@ -465,6 +455,52 @@ impl BrokerSummary {
     /// from the maintained id set.
     pub fn subscription_count(&self) -> usize {
         self.known.len()
+    }
+
+    /// Checks the deep structural invariants of the whole summary.
+    /// Compiled only for tests and debug builds; the property tests call
+    /// it after every insertion, merge, removal and wire round-trip.
+    ///
+    /// Invariants:
+    ///
+    /// * the per-attribute slot vectors span the schema, and a populated
+    ///   slot sits on an attribute of the matching kind;
+    /// * every per-attribute structure passes its own
+    ///   [`RangeSummary::validate`] / [`PatternSummary::validate`];
+    /// * the maintained `known` id cache equals the sorted distinct ids
+    ///   actually present in the rows
+    ///   ([`BrokerSummary::subscription_ids`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    #[cfg(any(test, debug_assertions))]
+    pub fn validate(&self) {
+        assert_eq!(self.arith.len(), self.schema.len(), "AACS slots span the schema");
+        assert_eq!(self.strings.len(), self.schema.len(), "SACS slots span the schema");
+        for (idx, slot) in self.arith.iter().enumerate() {
+            if let Some(s) = slot {
+                assert!(
+                    self.schema.kind(subsum_types::AttrId(idx as u16)).is_arithmetic(),
+                    "AACS slot on non-arithmetic attribute {idx}"
+                );
+                s.validate();
+            }
+        }
+        for (idx, slot) in self.strings.iter().enumerate() {
+            if let Some(s) = slot {
+                assert!(
+                    !self.schema.kind(subsum_types::AttrId(idx as u16)).is_arithmetic(),
+                    "SACS slot on arithmetic attribute {idx}"
+                );
+                s.validate();
+            }
+        }
+        crate::idlist::validate_idlist(&self.known);
+        assert!(
+            self.known == self.subscription_ids(),
+            "known-id cache out of sync with the summary rows"
+        );
     }
 }
 
@@ -916,6 +952,36 @@ mod tests {
         assert_eq!(summary.subscription_count(), 1);
         assert_eq!(summary.subscription_ids(), vec![id2]);
         assert_eq!(summary.subscription_ids(), summary.known);
+    }
+
+    #[test]
+    fn validate_accepts_every_mutation_path() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.validate();
+        let id1 = summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.validate();
+        let mut other = BrokerSummary::new(schema.clone());
+        other.insert(BrokerId(1), LocalSubId(2), &sub2(&schema));
+        summary.merge(&other);
+        summary.validate();
+        summary.remove(id1);
+        summary.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "known-id cache out of sync")]
+    fn validate_rejects_stale_known_cache() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        // Corrupt the counter cache behind the API's back.
+        summary.known.push(SubscriptionId::new(
+            BrokerId(9),
+            LocalSubId(9),
+            subsum_types::AttrMask::empty(),
+        ));
+        summary.validate();
     }
 
     #[test]

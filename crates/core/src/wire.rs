@@ -86,6 +86,12 @@ impl From<TypeError> for WireError {
 
 const VERSION: u8 = 1;
 
+/// Arithmetic width wire tags (the byte after the version). Written by
+/// the encoder and matched by name in the decoder; the `cargo xtask
+/// check` wire-tag lint enforces the pairing.
+const TAG_WIDTH_FOUR: u8 = 4;
+const TAG_WIDTH_EIGHT: u8 = 8;
+
 /// Encoder/decoder for [`BrokerSummary`] byte streams.
 ///
 /// # Example
@@ -138,8 +144,8 @@ impl SummaryCodec {
         let mut w = ByteWriter::new();
         w.u8(VERSION);
         w.u8(match self.width {
-            ArithWidth::Four => 4,
-            ArithWidth::Eight => 8,
+            ArithWidth::Four => TAG_WIDTH_FOUR,
+            ArithWidth::Eight => TAG_WIDTH_EIGHT,
         });
         let schema = summary.schema();
 
@@ -203,8 +209,8 @@ impl SummaryCodec {
             return Err(WireError::UnsupportedVersion(version));
         }
         let width = match r.u8()? {
-            4 => ArithWidth::Four,
-            8 => ArithWidth::Eight,
+            TAG_WIDTH_FOUR => ArithWidth::Four,
+            TAG_WIDTH_EIGHT => ArithWidth::Eight,
             _ => return Err(WireError::Decode(DecodeError::Malformed("arith width"))),
         };
         let mut summary = BrokerSummary::new(schema.clone());

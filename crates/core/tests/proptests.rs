@@ -106,6 +106,26 @@ fn build_event(schema: &Schema, raw: &[(u16, RawValue)]) -> Event {
     b.build()
 }
 
+/// Runs the deep structural validator on a broker summary. The
+/// `validate` methods exist under `cfg(any(test, debug_assertions))`;
+/// from an integration test the library's own `test` cfg is off, so the
+/// call compiles only in debug builds — release-mode test runs simply
+/// skip the deep check instead of failing to build.
+fn check_invariants(summary: &BrokerSummary) {
+    #[cfg(debug_assertions)]
+    summary.validate();
+    #[cfg(not(debug_assertions))]
+    let _ = summary;
+}
+
+/// Same for a standalone SACS pattern summary.
+fn check_sacs_invariants(sacs: &PatternSummary) {
+    #[cfg(debug_assertions)]
+    sacs.validate();
+    #[cfg(not(debug_assertions))]
+    let _ = sacs;
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -123,6 +143,7 @@ proptest! {
                 exact.push((id, sub));
             }
         }
+        check_invariants(&summary);
         for raw_event in &events {
             let event = build_event(&schema, raw_event);
             let matched = summary.match_event(&event);
@@ -159,7 +180,10 @@ proptest! {
                 exact.push((id, sub));
             }
         }
+        check_invariants(&a);
+        check_invariants(&b);
         a.merge(&b);
+        check_invariants(&a);
         for raw_event in &events {
             let event = build_event(&schema, raw_event);
             let matched = a.match_event(&event);
@@ -195,6 +219,7 @@ proptest! {
                 remaining.push((id, sub));
             }
         }
+        check_invariants(&summary);
         for raw_event in &events {
             let event = build_event(&schema, raw_event);
             let matched = summary.match_event(&event);
@@ -222,6 +247,8 @@ proptest! {
         }
         let bytes = codec.encode(&summary).unwrap();
         let decoded = codec.decode(&bytes, &schema).unwrap();
+        check_invariants(&summary);
+        check_invariants(&decoded);
         prop_assert_eq!(&decoded, &summary);
         for raw_event in &events {
             let event = build_event(&schema, raw_event);
@@ -242,6 +269,7 @@ proptest! {
                 ids.push(summary.insert(BrokerId(0), LocalSubId(i as u32), &sub));
             }
         }
+        check_invariants(&summary);
         let event = build_event(&schema, &raw_event);
         for id in summary.match_event(&event) {
             prop_assert!(ids.contains(&id));
@@ -285,6 +313,7 @@ proptest! {
                 sacs.insert(p, id);
             }
         }
+        check_sacs_invariants(&sacs);
         for v in &values {
             let mut indexed = sacs.query(v);
             let mut scanned = sacs.query_scan(v);
@@ -311,11 +340,56 @@ proptest! {
             }
         }
         let mut scratch = MatchScratch::new();
+        check_invariants(&summary);
         for raw_event in &events {
             let event = build_event(&schema, raw_event);
             let indexed = summary.match_event_into(&event, &mut scratch).matched.clone();
             let scanned = summary.match_event_scan(&event).matched;
             prop_assert_eq!(indexed, scanned);
+        }
+    }
+
+    /// Wire round-trip with a populated SACS anchor index. The index is
+    /// derived state — it never travels on the wire (`cargo xtask
+    /// check` enforces that) — so the decoder must rebuild it, and the
+    /// rebuilt index must answer `query_into` byte-identically to the
+    /// original's while passing deep validation.
+    #[test]
+    fn decoded_sacs_index_answers_identically(
+        patterns in proptest::collection::vec("[ab]{0,3}\\*?[ab]{0,3}", 1..10),
+        values in proptest::collection::vec("[ab]{0,6}", 1..10)) {
+        let schema = stock_schema();
+        let layout = IdLayout::new(24, 1024, schema.len() as u32).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let mut summary = BrokerSummary::new(schema.clone());
+        for (i, text) in patterns.iter().enumerate() {
+            // Alternate between the two string attributes so both SACS
+            // instances (and their prefix/suffix/residual buckets) are
+            // exercised.
+            let attr = if i % 2 == 0 { "exchange" } else { "symbol" };
+            if let Ok(b) = Subscription::builder(&schema).str_pattern(attr, text) {
+                if let Ok(sub) = b.build() {
+                    summary.insert(BrokerId((i % 24) as u16), LocalSubId(i as u32), &sub);
+                }
+            }
+        }
+        let bytes = codec.encode(&summary).unwrap();
+        let decoded = codec.decode(&bytes, &schema).unwrap();
+        check_invariants(&decoded);
+        for attr in [subsum_types::AttrId(0), subsum_types::AttrId(1)] {
+            match (summary.string_summary(attr), decoded.string_summary(attr)) {
+                (Some(orig), Some(dec)) => {
+                    check_sacs_invariants(dec);
+                    for v in &values {
+                        let mut want = Vec::new();
+                        let mut got = Vec::new();
+                        orig.query_into(v, &mut want);
+                        dec.query_into(v, &mut got);
+                        prop_assert_eq!(got, want, "attr {:?} value {:?}", attr, v);
+                    }
+                }
+                (orig, dec) => prop_assert_eq!(dec.is_none(), orig.is_none()),
+            }
         }
     }
 }

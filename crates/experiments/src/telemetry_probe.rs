@@ -195,18 +195,19 @@ mod tests {
             .filter(|(n, s)| s.count > before.get(n).copied().unwrap_or(0))
             .map(|(n, _)| n)
             .collect();
+        use subsum_telemetry::names;
         for stage in [
-            "broker.subscribe",
-            "broker.propagate",
-            "propagate.round",
-            "publish.route",
-            "publish.candidate_match",
-            "publish.owner_verify",
-            "core.summary.insert",
-            "core.summary.match",
-            "runtime.handle_msg",
-            "siena.propagate",
-            "siena.route",
+            names::BROKER_SUBSCRIBE,
+            names::BROKER_PROPAGATE,
+            names::PROPAGATE_ROUND,
+            names::PUBLISH_ROUTE,
+            names::PUBLISH_CANDIDATE_MATCH,
+            names::PUBLISH_OWNER_VERIFY,
+            names::CORE_SUMMARY_INSERT,
+            names::CORE_SUMMARY_MATCH,
+            names::RUNTIME_HANDLE_MSG,
+            names::SIENA_PROPAGATE,
+            names::SIENA_ROUTE,
         ] {
             assert!(
                 grown.contains(&stage.to_string()),

@@ -21,7 +21,7 @@ use subsum_net::{NetMetrics, NodeId, Topology};
 use subsum_telemetry::Stage;
 use subsum_types::{Schema, Subscription};
 
-static STAGE_PROPAGATE: Stage = Stage::new("siena.propagate");
+static STAGE_PROPAGATE: Stage = Stage::new(subsum_telemetry::names::SIENA_PROPAGATE);
 
 /// Parameters of the probabilistic Siena model.
 #[derive(Debug, Clone, Copy, PartialEq)]

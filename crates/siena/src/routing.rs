@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 use subsum_net::{NodeId, Topology};
 use subsum_telemetry::Stage;
 
-static STAGE_ROUTE: Stage = Stage::new("siena.route");
+static STAGE_ROUTE: Stage = Stage::new(subsum_telemetry::names::SIENA_ROUTE);
 
 /// The links an event traverses to reach all matched brokers.
 #[derive(Debug, Clone, PartialEq, Eq)]

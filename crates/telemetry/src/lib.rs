@@ -62,6 +62,7 @@
 #[cfg(feature = "tracing")]
 pub mod bridge;
 mod hist;
+pub mod names;
 mod recorder;
 mod report;
 

@@ -1,0 +1,92 @@
+//! Central registry of telemetry metric names.
+//!
+//! Every counter, gauge and stage-histogram name used anywhere in the
+//! workspace is declared here as a constant, and call sites refer to the
+//! constant instead of repeating the string. `cargo xtask check` enforces
+//! this: a bare name literal passed to [`Count::new`](crate::Count),
+//! [`Stage::new`](crate::Stage), [`counter`](crate::counter),
+//! [`gauge`](crate::gauge) or [`histogram`](crate::histogram) outside
+//! test code fails the lint unless its value appears below. The registry
+//! makes the stringly-typed namespace greppable and typo-proof: a renamed
+//! metric changes in exactly one place.
+//!
+//! Names are grouped by the subsystem that records them. Test-only
+//! metrics use a `test.` prefix and are exempt from the registry (they
+//! are scoped to a single test body and never reported).
+
+/// Summary insertion stage (`subsum-core`).
+pub const CORE_SUMMARY_INSERT: &str = "core.summary.insert";
+/// Summary merge stage (`subsum-core`).
+pub const CORE_SUMMARY_MERGE: &str = "core.summary.merge";
+/// Event match stage (`subsum-core`).
+pub const CORE_SUMMARY_MATCH: &str = "core.summary.match";
+/// Matches served by a warm, previously used `MatchScratch`.
+pub const MATCH_SCRATCH_REUSE: &str = "match.scratch_reuse";
+/// SACS wildcard rows actually tested (index-selected plus literal hits).
+pub const SACS_INDEX_HITS: &str = "sacs.index_hits";
+/// SACS wildcard rows the anchor buckets skipped without testing.
+pub const SACS_ROWS_PRUNED: &str = "sacs.rows_pruned";
+
+/// Subscribe path of the summary broker (`subsum-broker`).
+pub const BROKER_SUBSCRIBE: &str = "broker.subscribe";
+/// Summary propagation phase of the summary broker.
+pub const BROKER_PROPAGATE: &str = "broker.propagate";
+/// One propagation round.
+pub const PROPAGATE_ROUND: &str = "propagate.round";
+/// End-to-end routing of one published event.
+pub const PUBLISH_ROUTE: &str = "publish.route";
+/// Candidate matching against merged summaries during routing.
+pub const PUBLISH_CANDIDATE_MATCH: &str = "publish.candidate_match";
+/// Tier-2 owner verification of candidate matches.
+pub const PUBLISH_OWNER_VERIFY: &str = "publish.owner_verify";
+/// Events published.
+pub const PUBLISH_EVENTS: &str = "publish.events";
+/// Candidate subscription matches produced by summary matching.
+pub const PUBLISH_CANDIDATES: &str = "publish.candidates";
+/// Deliveries confirmed by exact verification.
+pub const PUBLISH_DELIVERIES: &str = "publish.deliveries";
+/// Candidates rejected by exact verification (SACS false positives).
+pub const PUBLISH_FALSE_POSITIVES: &str = "publish.false_positives";
+/// One runtime mailbox message handled.
+pub const RUNTIME_HANDLE_MSG: &str = "runtime.handle_msg";
+/// Per-broker mailbox depth gauges: `runtime.mailbox.<broker>`. The only
+/// dynamically built family; sites append the broker id to this prefix.
+pub const RUNTIME_MAILBOX_PREFIX: &str = "runtime.mailbox.";
+
+/// Subscription flooding phase of the Siena-style baseline.
+pub const SIENA_PROPAGATE: &str = "siena.propagate";
+/// Event routing of the Siena-style baseline.
+pub const SIENA_ROUTE: &str = "siena.route";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            super::CORE_SUMMARY_INSERT,
+            super::CORE_SUMMARY_MERGE,
+            super::CORE_SUMMARY_MATCH,
+            super::MATCH_SCRATCH_REUSE,
+            super::SACS_INDEX_HITS,
+            super::SACS_ROWS_PRUNED,
+            super::BROKER_SUBSCRIBE,
+            super::BROKER_PROPAGATE,
+            super::PROPAGATE_ROUND,
+            super::PUBLISH_ROUTE,
+            super::PUBLISH_CANDIDATE_MATCH,
+            super::PUBLISH_OWNER_VERIFY,
+            super::PUBLISH_EVENTS,
+            super::PUBLISH_CANDIDATES,
+            super::PUBLISH_DELIVERIES,
+            super::PUBLISH_FALSE_POSITIVES,
+            super::RUNTIME_HANDLE_MSG,
+            super::RUNTIME_MAILBOX_PREFIX,
+            super::SIENA_PROPAGATE,
+            super::SIENA_ROUTE,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for name in all {
+            assert!(seen.insert(name), "duplicate metric name {name:?}");
+        }
+    }
+}

@@ -29,6 +29,24 @@ use crate::subscription::Subscription;
 use crate::value::Num;
 use crate::value::Value;
 
+/// Constraint wire tags. Each tag is written by exactly one encoder arm
+/// and matched by name in the decoder; the `cargo xtask check` wire-tag
+/// lint rejects a tag constant that is not referenced on both sides.
+const TAG_NUM_EQ: u8 = 0;
+const TAG_NUM_NE: u8 = 1;
+const TAG_NUM_LT: u8 = 2;
+const TAG_NUM_LE: u8 = 3;
+const TAG_NUM_GT: u8 = 4;
+const TAG_NUM_GE: u8 = 5;
+const TAG_STR_PATTERN: u8 = 6;
+const TAG_STR_NE: u8 = 7;
+
+/// Event value kind tags, paired the same way.
+const KIND_STR: u8 = 0;
+const KIND_INT: u8 = 1;
+const KIND_FLOAT: u8 = 2;
+const KIND_DATE: u8 = 3;
+
 impl Subscription {
     /// Serializes the subscription to `w`.
     pub fn encode(&self, w: &mut ByteWriter) {
@@ -38,22 +56,22 @@ impl Subscription {
             match &c.pred {
                 Predicate::Num(op, v) => {
                     let tag = match op {
-                        NumOp::Eq => 0,
-                        NumOp::Ne => 1,
-                        NumOp::Lt => 2,
-                        NumOp::Le => 3,
-                        NumOp::Gt => 4,
-                        NumOp::Ge => 5,
+                        NumOp::Eq => TAG_NUM_EQ,
+                        NumOp::Ne => TAG_NUM_NE,
+                        NumOp::Lt => TAG_NUM_LT,
+                        NumOp::Le => TAG_NUM_LE,
+                        NumOp::Gt => TAG_NUM_GT,
+                        NumOp::Ge => TAG_NUM_GE,
                     };
                     w.u8(tag);
                     w.f64(v.get());
                 }
                 Predicate::Str(p) => {
-                    w.u8(6);
+                    w.u8(TAG_STR_PATTERN);
                     w.str16(&p.to_string());
                 }
                 Predicate::StrNe(s) => {
-                    w.u8(7);
+                    w.u8(TAG_STR_NE);
                     w.str16(s);
                 }
             }
@@ -75,26 +93,26 @@ impl Subscription {
             let attr = AttrId(r.u16()?);
             let tag = r.u8()?;
             let pred = match tag {
-                0..=5 => {
+                TAG_NUM_EQ | TAG_NUM_NE | TAG_NUM_LT | TAG_NUM_LE | TAG_NUM_GT | TAG_NUM_GE => {
                     let op = match tag {
-                        0 => NumOp::Eq,
-                        1 => NumOp::Ne,
-                        2 => NumOp::Lt,
-                        3 => NumOp::Le,
-                        4 => NumOp::Gt,
+                        TAG_NUM_EQ => NumOp::Eq,
+                        TAG_NUM_NE => NumOp::Ne,
+                        TAG_NUM_LT => NumOp::Lt,
+                        TAG_NUM_LE => NumOp::Le,
+                        TAG_NUM_GT => NumOp::Gt,
                         _ => NumOp::Ge,
                     };
                     let v =
                         Num::new(r.f64()?).map_err(|_| DecodeError::Malformed("NaN operand"))?;
                     Predicate::Num(op, v)
                 }
-                6 => {
+                TAG_STR_PATTERN => {
                     let text = r.str16()?;
                     let p =
                         Pattern::parse(text).map_err(|_| DecodeError::Malformed("glob pattern"))?;
                     Predicate::Str(p)
                 }
-                7 => Predicate::StrNe(r.str16()?.to_owned()),
+                TAG_STR_NE => Predicate::StrNe(r.str16()?.to_owned()),
                 _ => return Err(DecodeError::Malformed("constraint tag")),
             };
             constraints.push(Constraint { attr, pred });
@@ -113,19 +131,19 @@ impl Event {
             w.u16(attr.0);
             match value {
                 Value::Str(s) => {
-                    w.u8(0);
+                    w.u8(KIND_STR);
                     w.str16(s);
                 }
                 Value::Int(v) => {
-                    w.u8(1);
+                    w.u8(KIND_INT);
                     w.u64(*v as u64);
                 }
                 Value::Float(v) => {
-                    w.u8(2);
+                    w.u8(KIND_FLOAT);
                     w.f64(v.get());
                 }
                 Value::Date(v) => {
-                    w.u8(3);
+                    w.u8(KIND_DATE);
                     w.u64(*v as u64);
                 }
             }
@@ -143,12 +161,12 @@ impl Event {
         for _ in 0..n {
             let attr = AttrId(r.u16()?);
             let value = match r.u8()? {
-                0 => Value::Str(r.str16()?.to_owned()),
-                1 => Value::Int(r.u64()? as i64),
-                2 => {
+                KIND_STR => Value::Str(r.str16()?.to_owned()),
+                KIND_INT => Value::Int(r.u64()? as i64),
+                KIND_FLOAT => {
                     Value::float(r.f64()?).map_err(|_| DecodeError::Malformed("NaN event value"))?
                 }
-                3 => Value::Date(r.u64()? as i64),
+                KIND_DATE => Value::Date(r.u64()? as i64),
                 _ => return Err(DecodeError::Malformed("value kind")),
             };
             event.set_raw(attr, value);

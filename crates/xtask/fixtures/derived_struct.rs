@@ -1,0 +1,6 @@
+//! Fixture declaring a derived-state field for the derived-state lint.
+
+pub struct Summary {
+    pub rows: Vec<u32>,
+    anchor_index: Vec<usize>, // lint: derived
+}

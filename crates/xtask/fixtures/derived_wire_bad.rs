@@ -1,0 +1,8 @@
+//! Fixture wire codec that references a derived field: one violation.
+//! The mention of anchor_index in this comment must not fire.
+
+pub fn encode(s: &Summary, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.rows.len() as u32).to_be_bytes());
+    // Serializing rebuilt state is the bug this lint exists to catch:
+    out.extend_from_slice(&(s.anchor_index.len() as u32).to_be_bytes());
+}

@@ -1,0 +1,19 @@
+//! Fixture wire codec that leaves derived state alone: zero findings.
+//! Mentioning anchor_index in a comment or "anchor_index in a string"
+//! is fine; only code references count.
+
+pub fn encode(s: &Summary, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.rows.len() as u32).to_be_bytes());
+    for row in &s.rows {
+        out.extend_from_slice(&row.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_touch_derived_state() {
+        let s = Summary::default();
+        assert!(s.anchor_index.is_empty());
+    }
+}

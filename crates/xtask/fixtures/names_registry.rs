@@ -1,0 +1,14 @@
+//! Fixture registry for the telemetry-names lint: the literals declared
+//! here (outside tests) form the allowed set.
+
+pub const APP_GOOD: &str = "app.good";
+pub const APP_OTHER: &str = "app.other";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_literal_is_not_registered() {
+        // This literal must NOT enter the registry.
+        let _ = "app.test_only";
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture for the no-panic lint: exactly four seeded violations.
+//! An `unwrap()` in a doc comment must not fire, nor must the ones in
+//! strings, `unwrap_or` calls or the `#[cfg(test)]` module below.
+
+/// Doc example that must be ignored: `value.unwrap()`.
+pub fn hot(input: Option<u32>) -> u32 {
+    let msg = "an unwrap() inside a string literal";
+    let _ = msg;
+    let fine = input.unwrap_or(0); // `unwrap_or` is infallible
+    let bad_unwrap = input.unwrap(); // violation 1
+    let bad_expect = input.expect("boom"); // violation 2
+    if fine > 10 {
+        panic!("violation 3");
+    }
+    match bad_unwrap.checked_add(bad_expect) {
+        Some(v) => v,
+        None => unreachable!("violation 4"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(hot(Some(1)).checked_mul(2).unwrap(), 2);
+        let ok: Result<u32, ()> = Ok(3);
+        ok.expect("tests are allowed to expect");
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture call sites for the telemetry-names lint: exactly one seeded
+//! violation (the rogue literal).
+
+static GOOD: Count = Count::new(names::APP_GOOD); // constant: fine
+static ALSO_GOOD: Count = Count::new("app.good"); // registered literal: fine
+static ROGUE: Count = Count::new("app.rogue"); // violation: not registered
+static STAGE: Stage = Stage::new("app.other"); // registered literal: fine
+
+pub fn record() {
+    let h = histogram("test.scratch"); // `test.` prefix: exempt
+    let g = gauge(&format!("app.dyn.{}", 1)); // not a literal: fine
+    let c = counter("app.good");
+    let _ = (h, g, c, &GOOD, &ALSO_GOOD, &ROGUE, &STAGE);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let _ = counter("app.anything_goes_in_tests");
+    }
+}

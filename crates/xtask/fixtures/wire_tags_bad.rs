@@ -1,0 +1,23 @@
+//! Fixture for the wire-tags lint: `TAG_ORPHAN` is encoded but never
+//! decoded (one reference beyond its declaration) — one violation.
+//! `TAG_PAIRED` and `KIND_PAIRED` appear on both sides and pass, and
+//! `TAG_NOT_A_TAG` is not a `u8`, so it is out of scope.
+
+const TAG_PAIRED: u8 = 0;
+const TAG_ORPHAN: u8 = 1;
+const KIND_PAIRED: u8 = 0;
+const TAG_NOT_A_TAG: u16 = 9;
+
+pub fn encode(kind: bool, out: &mut Vec<u8>) {
+    out.push(if kind { TAG_PAIRED } else { TAG_ORPHAN });
+    out.push(KIND_PAIRED);
+    out.extend_from_slice(&TAG_NOT_A_TAG.to_be_bytes());
+}
+
+pub fn decode(input: &[u8]) -> Option<bool> {
+    match input.first()? {
+        &TAG_PAIRED => Some(true),
+        _ => None,
+    }
+    .filter(|_| input.get(1) == Some(&KIND_PAIRED))
+}

@@ -1,0 +1,538 @@
+//! The four workspace lints behind `cargo xtask check`.
+//!
+//! Each lint is a pure function over [`crate::scan::Scanned`] sources:
+//!
+//! 1. **no-panic** — hot-path modules (summary/AACS/SACS/id-list
+//!    matching, broker routing) must not contain `unwrap()`, `expect()`
+//!    or panicking macros outside `#[cfg(test)]`. `assert!` /
+//!    `debug_assert!` remain allowed: they state contracts, and the
+//!    debug validators depend on them.
+//! 2. **telemetry-names** — every string literal passed to
+//!    `Count::new`, `Stage::new`, `counter`, `gauge` or `histogram`
+//!    must be declared in `subsum_telemetry::names` (test-only names
+//!    under the `test.` prefix are exempt).
+//! 3. **derived-state** — a field tagged `// lint: derived` is rebuilt,
+//!    never serialized; the wire codec files must not reference it.
+//! 4. **wire-tags** — a `const TAG_*/KIND_*: u8` wire tag must be
+//!    referenced at least twice beyond its declaration (once by the
+//!    encoder, once by the decoder), so a tag cannot silently lose its
+//!    decode arm.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{self, Scanned};
+
+/// One lint finding, printed as `file:line: [rule] message`.
+#[derive(Debug)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// What to check. All paths are relative to `root`.
+pub struct CheckConfig {
+    pub root: PathBuf,
+    /// Hot-path modules subject to the no-panic rule.
+    pub hot_files: Vec<PathBuf>,
+    /// The telemetry name registry (`subsum_telemetry::names`), if any.
+    pub registry: Option<PathBuf>,
+    /// Files scanned for telemetry call sites, wire-tag constants and
+    /// `// lint: derived` field tags.
+    pub scan_files: Vec<PathBuf>,
+    /// Wire codec files that must not reference derived fields.
+    pub wire_files: Vec<PathBuf>,
+}
+
+impl CheckConfig {
+    /// The configuration for this workspace.
+    pub fn workspace(root: &Path) -> Result<CheckConfig, String> {
+        let hot_files = [
+            "crates/core/src/summary.rs",
+            "crates/core/src/aacs.rs",
+            "crates/core/src/sacs.rs",
+            "crates/core/src/idlist.rs",
+            "crates/broker/src/routing.rs",
+        ]
+        .iter()
+        .map(PathBuf::from)
+        .collect();
+
+        // Every library source file in the workspace except the xtask
+        // crate itself (its fixtures contain deliberate violations).
+        let mut scan_files = Vec::new();
+        collect_rs(&root.join("src"), root, &mut scan_files)?;
+        let crates_dir = root.join("crates");
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), root, &mut scan_files)?;
+        }
+
+        Ok(CheckConfig {
+            root: root.to_path_buf(),
+            hot_files,
+            registry: Some(PathBuf::from("crates/telemetry/src/names.rs")),
+            scan_files,
+            wire_files: vec![
+                PathBuf::from("crates/core/src/wire.rs"),
+                PathBuf::from("crates/types/src/subcodec.rs"),
+            ],
+        })
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (paths made relative to
+/// `root`), in sorted order. A missing `dir` is not an error.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| e.to_string())?
+                .to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+struct Source {
+    rel: PathBuf,
+    raw: Vec<u8>,
+    scanned: Scanned,
+}
+
+fn load(root: &Path, rel: &Path) -> Result<Source, String> {
+    let full = root.join(rel);
+    let raw = std::fs::read(&full).map_err(|e| format!("{}: {e}", full.display()))?;
+    let scanned = scan::scan(&raw);
+    Ok(Source {
+        rel: rel.to_path_buf(),
+        raw,
+        scanned,
+    })
+}
+
+/// Runs every lint and returns all findings, sorted by file and line.
+pub fn run_check(cfg: &CheckConfig) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+
+    for rel in &cfg.hot_files {
+        let src = load(&cfg.root, rel)?;
+        no_panic(&src, &mut violations);
+    }
+
+    let registry = match &cfg.registry {
+        Some(rel) => Some(registry_names(&load(&cfg.root, rel)?)),
+        None => None,
+    };
+
+    let mut derived_fields = Vec::new();
+    for rel in &cfg.scan_files {
+        let src = load(&cfg.root, rel)?;
+        if let Some(names) = &registry {
+            telemetry_names(&src, names, &mut violations);
+        }
+        wire_tags(&src, &mut violations);
+        derived_fields.extend(derived_tags(&src));
+    }
+
+    for rel in &cfg.wire_files {
+        let src = load(&cfg.root, rel)?;
+        derived_state(&src, &derived_fields, &mut violations);
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lint 1: panicking constructs in hot-path modules.
+fn no_panic(src: &Source, out: &mut Vec<Violation>) {
+    let masked = &src.scanned.masked;
+    let n = masked.len();
+
+    // `.unwrap(` / `.expect(` method calls. Checking the byte after the
+    // method name keeps `unwrap_or*` and `expect_err` out of scope.
+    for method in ["unwrap", "expect"] {
+        let needle: Vec<u8> = format!(".{method}").into_bytes();
+        let mut from = 0;
+        while let Some(pos) = scan::find(masked, &needle, from) {
+            from = pos + 1;
+            let after = pos + needle.len();
+            if after < n && is_ident(masked[after]) {
+                continue;
+            }
+            let mut j = after;
+            while j < n && masked[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j >= n || masked[j] != b'(' {
+                continue;
+            }
+            if src.scanned.in_test_region(pos) {
+                continue;
+            }
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: scan::line_of(&src.raw, pos),
+                rule: "no-panic",
+                msg: format!("`.{method}()` in a hot-path module; propagate or rewrite infallibly"),
+            });
+        }
+    }
+
+    // Panicking macros. `assert!`/`debug_assert!` are deliberately not
+    // listed: they document contracts and back the debug validators.
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        let needle = mac.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = scan::find(masked, needle, from) {
+            from = pos + 1;
+            if pos > 0 && is_ident(masked[pos - 1]) {
+                continue;
+            }
+            if src.scanned.in_test_region(pos) {
+                continue;
+            }
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: scan::line_of(&src.raw, pos),
+                rule: "no-panic",
+                msg: format!("`{mac}` in a hot-path module; return an error or restructure"),
+            });
+        }
+    }
+}
+
+/// Every string literal declared in the names registry (outside tests).
+fn registry_names(src: &Source) -> BTreeSet<String> {
+    src.scanned
+        .strings
+        .iter()
+        .filter(|s| !src.scanned.in_test_region(s.start))
+        .map(|s| s.value.clone())
+        .collect()
+}
+
+/// Lint 2: telemetry name literals outside the registry.
+fn telemetry_names(src: &Source, registry: &BTreeSet<String>, out: &mut Vec<Violation>) {
+    let masked = &src.scanned.masked;
+    let n = masked.len();
+    for callee in ["Count::new(", "Stage::new(", "counter(", "gauge(", "histogram("] {
+        let needle = callee.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = scan::find(masked, needle, from) {
+            from = pos + 1;
+            if pos > 0 && is_ident(masked[pos - 1]) {
+                continue;
+            }
+            // Skip whitespace and a leading `&` before the argument —
+            // stopping the moment a literal starts, because the mask
+            // blanks literal bytes to spaces.
+            let mut j = pos + needle.len();
+            while j < n
+                && src.scanned.string_at(j).is_none()
+                && (masked[j].is_ascii_whitespace() || masked[j] == b'&')
+            {
+                j += 1;
+            }
+            let Some(lit) = src.scanned.string_at(j) else {
+                continue; // a constant or expression, not a literal
+            };
+            if src.scanned.in_test_region(pos) || lit.value.starts_with("test.") {
+                continue;
+            }
+            if !registry.contains(&lit.value) {
+                out.push(Violation {
+                    file: src.rel.clone(),
+                    line: scan::line_of(&src.raw, pos),
+                    rule: "telemetry-names",
+                    msg: format!(
+                        "telemetry name {:?} is not declared in subsum_telemetry::names; \
+                         add a constant there and use it here",
+                        lit.value
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A field tagged `// lint: derived`, with where it was declared.
+#[derive(Debug)]
+struct DerivedField {
+    name: String,
+    file: PathBuf,
+    line: usize,
+}
+
+/// Collects `// lint: derived` field tags from the *raw* source (the
+/// tag lives in a comment, which the mask blanks out).
+fn derived_tags(src: &Source) -> Vec<DerivedField> {
+    const TAG: &[u8] = b"// lint: derived";
+    let mut fields = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = scan::find(&src.raw, TAG, from) {
+        from = pos + TAG.len();
+        // The field declaration shares the tag's line: `name: Type, // lint: derived`
+        let line_start = src.raw[..pos]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let decl = &src.raw[line_start..pos];
+        // The field name is the identifier right before the first `:`.
+        let Some(colon) = decl.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        let mut end = colon;
+        while end > 0 && decl[end - 1].is_ascii_whitespace() {
+            end -= 1;
+        }
+        let mut start = end;
+        while start > 0 && is_ident(decl[start - 1]) {
+            start -= 1;
+        }
+        if start < end {
+            fields.push(DerivedField {
+                name: String::from_utf8_lossy(&decl[start..end]).into_owned(),
+                file: src.rel.clone(),
+                line: scan::line_of(&src.raw, pos),
+            });
+        }
+    }
+    fields
+}
+
+/// Lint 3: wire codecs referencing derived fields.
+fn derived_state(src: &Source, fields: &[DerivedField], out: &mut Vec<Violation>) {
+    for field in fields {
+        for pos in ident_occurrences(&src.scanned.masked, field.name.as_bytes()) {
+            if src.scanned.in_test_region(pos) {
+                continue;
+            }
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: scan::line_of(&src.raw, pos),
+                rule: "derived-state",
+                msg: format!(
+                    "wire codec references `{}`, tagged `lint: derived` at {}:{}; \
+                     derived state is rebuilt after decode, never serialized",
+                    field.name,
+                    field.file.display(),
+                    field.line
+                ),
+            });
+        }
+    }
+}
+
+/// Lint 4: wire tag constants without both encoder and decoder uses.
+fn wire_tags(src: &Source, out: &mut Vec<Violation>) {
+    let masked = &src.scanned.masked;
+    let needle = b"const ";
+    let mut from = 0;
+    while let Some(pos) = scan::find(masked, needle, from) {
+        from = pos + 1;
+        if pos > 0 && is_ident(masked[pos - 1]) {
+            continue;
+        }
+        let mut j = pos + needle.len();
+        while j < masked.len() && masked[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < masked.len() && is_ident(masked[j]) {
+            j += 1;
+        }
+        let name = &masked[start..j];
+        if !(name.starts_with(b"TAG_") || name.starts_with(b"KIND_")) {
+            continue;
+        }
+        // Require the declared type to be `u8` — wire tags only.
+        let mut k = j;
+        while k < masked.len() && masked[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= masked.len() || masked[k] != b':' {
+            continue;
+        }
+        k += 1;
+        while k < masked.len() && masked[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if !masked[k..].starts_with(b"u8") {
+            continue;
+        }
+        let uses = ident_occurrences(masked, name)
+            .into_iter()
+            .filter(|&p| p != start)
+            .count();
+        if uses < 2 {
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: scan::line_of(&src.raw, start),
+                rule: "wire-tags",
+                msg: format!(
+                    "wire tag `{}` has {uses} reference(s) beyond its declaration; \
+                     it must appear in both the encoder and the decoder",
+                    String::from_utf8_lossy(name)
+                ),
+            });
+        }
+    }
+}
+
+/// Byte offsets of standalone occurrences of identifier `name`.
+fn ident_occurrences(masked: &[u8], name: &[u8]) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = scan::find(masked, name, from) {
+        from = pos + 1;
+        let before_ok = pos == 0 || !is_ident(masked[pos - 1]);
+        let after = pos + name.len();
+        let after_ok = after >= masked.len() || !is_ident(masked[after]);
+        if before_ok && after_ok {
+            hits.push(pos);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+    }
+
+    fn empty_config(root: PathBuf) -> CheckConfig {
+        CheckConfig {
+            root,
+            hot_files: Vec::new(),
+            registry: None,
+            scan_files: Vec::new(),
+            wire_files: Vec::new(),
+        }
+    }
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn no_panic_flags_seeded_violations_only() {
+        let mut cfg = empty_config(fixtures());
+        cfg.hot_files = vec![PathBuf::from("no_panic_bad.rs")];
+        let v = run_check(&cfg).unwrap();
+        // One unwrap, one expect, one panic!, one unreachable! — the
+        // unwraps inside `#[cfg(test)]`, comments, strings and the
+        // `unwrap_or` call must all pass.
+        assert_eq!(rules(&v), vec!["no-panic"; 4], "{v:#?}");
+        assert!(v.iter().any(|x| x.msg.contains("unwrap")));
+        assert!(v.iter().any(|x| x.msg.contains("expect")));
+        assert!(v.iter().any(|x| x.msg.contains("panic!")));
+        assert!(v.iter().any(|x| x.msg.contains("unreachable!")));
+    }
+
+    #[test]
+    fn no_panic_passes_clean_fixture() {
+        let mut cfg = empty_config(fixtures());
+        cfg.hot_files = vec![PathBuf::from("no_panic_clean.rs")];
+        let v = run_check(&cfg).unwrap();
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn telemetry_names_flags_rogue_literal() {
+        let mut cfg = empty_config(fixtures());
+        cfg.registry = Some(PathBuf::from("names_registry.rs"));
+        cfg.scan_files = vec![PathBuf::from("telemetry_bad.rs")];
+        let v = run_check(&cfg).unwrap();
+        // Only the rogue literal: registry names, constants, `test.`
+        // names and test-region literals are all allowed.
+        assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
+        assert!(v[0].msg.contains("app.rogue"));
+    }
+
+    #[test]
+    fn derived_state_flags_wire_reference() {
+        let mut cfg = empty_config(fixtures());
+        cfg.scan_files = vec![PathBuf::from("derived_struct.rs")];
+        cfg.wire_files = vec![PathBuf::from("derived_wire_bad.rs")];
+        let v = run_check(&cfg).unwrap();
+        assert_eq!(rules(&v), vec!["derived-state"], "{v:#?}");
+        assert!(v[0].msg.contains("anchor_index"));
+    }
+
+    #[test]
+    fn derived_state_passes_clean_wire_file() {
+        let mut cfg = empty_config(fixtures());
+        cfg.scan_files = vec![PathBuf::from("derived_struct.rs")];
+        cfg.wire_files = vec![PathBuf::from("derived_wire_clean.rs")];
+        let v = run_check(&cfg).unwrap();
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn wire_tags_flags_unpaired_constant() {
+        let mut cfg = empty_config(fixtures());
+        cfg.scan_files = vec![PathBuf::from("wire_tags_bad.rs")];
+        let v = run_check(&cfg).unwrap();
+        assert_eq!(rules(&v), vec!["wire-tags"], "{v:#?}");
+        assert!(v[0].msg.contains("TAG_ORPHAN"));
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let cfg = CheckConfig::workspace(&root).unwrap();
+        assert!(!cfg.scan_files.is_empty());
+        let v = run_check(&cfg).unwrap();
+        assert!(
+            v.is_empty(),
+            "workspace lints failed:\n{}",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

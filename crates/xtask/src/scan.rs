@@ -1,0 +1,337 @@
+//! A small lexical scanner for Rust sources.
+//!
+//! The lints in this crate are deliberately lexical: they need no type
+//! information, only a faithful separation of *code* from comments and
+//! literals. The scanner produces a masked copy of the source — comment
+//! and string-literal bytes blanked out, offsets preserved — plus the
+//! string literals themselves and the byte ranges of `#[cfg(test)]`
+//! items, so the lints can pattern-match code without tripping over
+//! doc examples, error messages or test bodies.
+
+/// One string literal found in the source.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Byte offset of the opening quote (or the `r`/`b` prefix).
+    pub start: usize,
+    /// The literal's content with simple escapes passed through raw.
+    pub value: String,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug)]
+pub struct Scanned {
+    /// The source with comments, string/char literals blanked to spaces
+    /// (newlines preserved, so offsets and line numbers survive).
+    pub masked: Vec<u8>,
+    /// Every string literal, in source order.
+    pub strings: Vec<StrLit>,
+    /// Byte ranges of items annotated `#[cfg(test)]`.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl Scanned {
+    /// Whether `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..hi).contains(&offset))
+    }
+
+    /// The string literal starting exactly at `offset`, if any.
+    pub fn string_at(&self, offset: usize) -> Option<&StrLit> {
+        self.strings.iter().find(|s| s.start == offset)
+    }
+}
+
+/// 1-based line number of `offset` in `src`.
+pub fn line_of(src: &[u8], offset: usize) -> usize {
+    1 + src[..offset.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `src`, masking comments and literals and locating test regions.
+pub fn scan(src: &[u8]) -> Scanned {
+    let mut masked = src.to_vec();
+    let mut strings = Vec::new();
+    let mut i = 0;
+    let n = src.len();
+
+    let blank = |masked: &mut [u8], lo: usize, hi: usize| {
+        for b in &mut masked[lo..hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < n {
+        let b = src[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if b == b'/' && i + 1 < n && src[i + 1] == b'/' {
+            let end = src[i..]
+                .iter()
+                .position(|&c| c == b'\n')
+                .map_or(n, |p| i + p);
+            blank(&mut masked, i, end);
+            i = end;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if b == b'/' && i + 1 < n && src[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if src[i] == b'/' && i + 1 < n && src[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if src[i] == b'*' && i + 1 < n && src[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut masked, start, i);
+            continue;
+        }
+        // Raw (and raw byte) string: r"..", r#".."#, br#".."#.
+        if (b == b'r' || b == b'b') && (i == 0 || !is_ident(src[i - 1])) {
+            let mut j = i;
+            if src[j] == b'b' && j + 1 < n && src[j + 1] == b'r' {
+                j += 1;
+            }
+            if src[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && src[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && src[k] == b'"' {
+                    let content_start = k + 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat(b'#').take(hashes))
+                        .collect();
+                    let mut e = content_start;
+                    while e < n && !src[e..].starts_with(&closer) {
+                        e += 1;
+                    }
+                    let content_end = e.min(n);
+                    strings.push(StrLit {
+                        start: i,
+                        value: String::from_utf8_lossy(&src[content_start..content_end])
+                            .into_owned(),
+                    });
+                    let end = (content_end + closer.len()).min(n);
+                    blank(&mut masked, i, end);
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        // Byte string b"..".
+        if b == b'b'
+            && i + 1 < n
+            && src[i + 1] == b'"'
+            && (i == 0 || !is_ident(src[i - 1]))
+        {
+            let (end, value) = cooked_string(src, i + 1);
+            strings.push(StrLit { start: i, value });
+            blank(&mut masked, i, end);
+            i = end;
+            continue;
+        }
+        // Plain string "..".
+        if b == b'"' {
+            let (end, value) = cooked_string(src, i);
+            strings.push(StrLit { start: i, value });
+            blank(&mut masked, i, end);
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime: only mask genuine char literals.
+        if b == b'\'' && (i == 0 || !is_ident(src[i - 1])) {
+            if i + 2 < n && src[i + 1] == b'\\' {
+                // Escaped char: find the closing quote.
+                let mut e = i + 2;
+                if e < n {
+                    e += 1; // the escaped byte
+                }
+                while e < n && src[e] != b'\'' && e - i < 12 {
+                    e += 1;
+                }
+                if e < n && src[e] == b'\'' {
+                    blank(&mut masked, i, e + 1);
+                    i = e + 1;
+                    continue;
+                }
+            } else if i + 2 < n && src[i + 2] == b'\'' && src[i + 1] != b'\'' {
+                blank(&mut masked, i, i + 3);
+                i += 3;
+                continue;
+            }
+            // A lifetime — leave as code.
+        }
+        i += 1;
+    }
+
+    let test_regions = find_test_regions(&masked);
+    Scanned {
+        masked,
+        strings,
+        test_regions,
+    }
+}
+
+/// Consumes a cooked string starting at the opening quote `start`;
+/// returns (one-past-closing-quote, content).
+fn cooked_string(src: &[u8], start: usize) -> (usize, String) {
+    let n = src.len();
+    let mut i = start + 1;
+    let mut value = Vec::new();
+    while i < n {
+        match src[i] {
+            b'\\' if i + 1 < n => {
+                // Pass escapes through raw; the lints only compare plain
+                // dotted metric names, which contain none.
+                value.push(src[i + 1]);
+                i += 2;
+            }
+            b'"' => return (i + 1, String::from_utf8_lossy(&value).into_owned()),
+            c => {
+                value.push(c);
+                i += 1;
+            }
+        }
+    }
+    (n, String::from_utf8_lossy(&value).into_owned())
+}
+
+/// Byte ranges of items annotated `#[cfg(test)]`: from the attribute to
+/// the closing brace of the following item (or its terminating `;`).
+fn find_test_regions(masked: &[u8]) -> Vec<(usize, usize)> {
+    const ATTR: &[u8] = b"#[cfg(test)]";
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find(masked, ATTR, from) {
+        let start = pos;
+        let mut i = pos + ATTR.len();
+        // Skip whitespace and any further attributes before the item.
+        loop {
+            while i < masked.len() && masked[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < masked.len() && masked[i] == b'#' {
+                while i < masked.len() && masked[i] != b']' {
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        // The item body: up to the matching close brace, or `;` for
+        // brace-less items (`#[cfg(test)] use ...;`).
+        let mut depth = 0usize;
+        let mut end = masked.len();
+        while i < masked.len() {
+            match masked[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push((start, end));
+        from = end.max(pos + 1);
+    }
+    regions
+}
+
+/// First occurrence of `needle` in `haystack[from..]`.
+pub fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() || needle.is_empty() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = br#"
+// a comment with unwrap()
+/* block /* nested */ still comment unwrap() */
+let s = "literal with panic!";
+let c = 'x';
+let lt: &'static str = "y";
+code();
+"#;
+        let out = scan(src);
+        let masked = String::from_utf8_lossy(&out.masked).into_owned();
+        assert!(!masked.contains("comment"));
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("panic"));
+        assert!(masked.contains("code()"));
+        assert!(masked.contains("&'static str"));
+        assert_eq!(out.strings.len(), 2);
+        assert_eq!(out.strings[0].value, "literal with panic!");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = br##"let a = r#"raw "quoted" body"#; let b = "es\"c";"##;
+        let out = scan(src);
+        assert_eq!(out.strings[0].value, "raw \"quoted\" body");
+        assert_eq!(out.strings[1].value, "es\"c");
+    }
+
+    #[test]
+    fn test_regions_cover_the_test_module() {
+        let src = br#"
+fn hot() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+fn after() {}
+"#;
+        let out = scan(src);
+        assert_eq!(out.test_regions.len(), 1);
+        let unwrap_at = find(src, b"unwrap", 0).unwrap();
+        assert!(out.in_test_region(unwrap_at));
+        let after_at = find(src, b"after", 0).unwrap();
+        assert!(!out.in_test_region(after_at));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = b"a\nb\nc";
+        assert_eq!(line_of(src, 0), 1);
+        assert_eq!(line_of(src, 2), 2);
+        assert_eq!(line_of(src, 4), 3);
+    }
+}
