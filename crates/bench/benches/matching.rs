@@ -2,7 +2,9 @@
 //! against a naive per-subscription scan, for growing subscription
 //! populations and both selective and popular events, plus a
 //! high-row-count SACS scenario that isolates the pattern index's bucket
-//! pruning against the retained full-scan reference.
+//! pruning against the retained full-scan reference, and a large-P
+//! multi-attribute scenario that isolates the dense epoch-counter kernel
+//! against the plain-`SubscriptionId` scan reference.
 //!
 //! The harness is hand-rolled (no `criterion_main!`) so CI can smoke the
 //! report writers without timing anything: with `SUBSUM_BENCH_REPORT_ONLY`
@@ -22,9 +24,11 @@ use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use subsum_core::{BrokerSummary, MatchScratch, SummaryStats};
+use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, SummaryCodec, SummaryStats};
 use subsum_telemetry::{names, Json, RunReport};
-use subsum_types::{stock_schema, BrokerId, Event, LocalSubId, StrOp, Subscription};
+use subsum_types::{
+    stock_schema, BrokerId, Event, IdLayout, LocalSubId, Schema, StrOp, Subscription,
+};
 use subsum_workload::{PaperParams, Workload};
 
 /// Alphabet for the SACS-heavy scenario's symbols and prefixes.
@@ -33,6 +37,10 @@ const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
 const SACS_HEAVY_SUBS: usize = 5000;
 /// Events per measured pass in the SACS-heavy scenario.
 const SACS_HEAVY_EVENTS: usize = 256;
+/// Subscriptions in the dense-kernel scenario.
+const DENSE_SUBS: usize = 8000;
+/// Events per measured pass in the dense-kernel scenario.
+const DENSE_EVENTS: usize = 256;
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
@@ -120,8 +128,61 @@ fn bench_matching(c: &mut Criterion) {
     );
     group.finish();
 
+    // The dense-kernel scenario: a large multi-attribute paper workload
+    // where every attribute contributes dense postings and the epoch
+    // counter kernel resolves matches without sorting.
+    let (summary, events, _schema) = dense_kernel_fixture();
+    let mut group = c.benchmark_group("dense_kernel");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("epoch_kernel", DENSE_SUBS),
+        &events,
+        |b, events| {
+            let mut scratch = MatchScratch::new();
+            b.iter(|| {
+                events
+                    .iter()
+                    .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("full_scan", DENSE_SUBS),
+        &events,
+        |b, events| {
+            b.iter(|| {
+                events
+                    .iter()
+                    .map(|e| summary.match_event_scan(e).matched.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+
     emit_matching_report();
     emit_stage_report();
+}
+
+/// Builds the dense-kernel scenario: `DENSE_SUBS` subscriptions from the
+/// paper's multi-attribute workload (arithmetic ranges, points and string
+/// operators mixed per subscription) and popular events that touch many
+/// rows, so the per-event candidate set is large and the counter kernel's
+/// O(P) pass dominates.
+fn dense_kernel_fixture() -> (BrokerSummary, Vec<Event>, Schema) {
+    let mut rng = StdRng::seed_from_u64(0xD15E);
+    let mut workload = Workload::new(PaperParams::default(), 0.7);
+    let schema = workload.schema().clone();
+    let subs: Vec<Subscription> = workload.subscriptions(DENSE_SUBS, &mut rng);
+    let mut summary = BrokerSummary::new(schema.clone());
+    for (i, sub) in subs.iter().enumerate() {
+        summary.insert(BrokerId((i % 16) as u16), LocalSubId(i as u32), sub);
+    }
+    let events: Vec<Event> = (0..DENSE_EVENTS)
+        .map(|_| workload.event(0.9, &mut rng))
+        .collect();
+    (summary, events, schema)
 }
 
 /// Builds the SACS-heavy scenario: `SACS_HEAVY_SUBS` subscriptions whose
@@ -217,9 +278,10 @@ fn side_json(sorted: &[f64], events_per_sec: f64) -> Json {
 }
 
 /// Measures the SACS-heavy scenario before (full scan) and after
-/// (pattern index + scratch reuse), runs one instrumented pass for the
-/// pruning counters, and writes `BENCH_matching.json` at the workspace
-/// root.
+/// (pattern index + scratch reuse) and the dense-kernel scenario before
+/// (plain-id scan) and after (epoch-counter kernel), runs instrumented
+/// passes for the pruning and intern-table counters, and writes
+/// `BENCH_matching.json` at the workspace root.
 fn emit_matching_report() {
     let (summary, events) = sacs_heavy_fixture();
     let passes = report_passes();
@@ -255,6 +317,45 @@ fn emit_matching_report() {
         subsum_telemetry::counters_snapshot().into_iter().collect();
     let counter = |name: &str| Json::UInt(counters.get(name).copied().unwrap_or(0));
 
+    // The dense-kernel scenario: before is the plain-`SubscriptionId`
+    // scan reference, after is the epoch-counter kernel over dense
+    // postings with a reused scratch.
+    let (dense_summary, dense_events, dense_schema) = dense_kernel_fixture();
+    let mut dense_scratch = MatchScratch::new();
+    let warm: usize = dense_events
+        .iter()
+        .map(|e| dense_summary.match_event_into(e, &mut dense_scratch).matched.len())
+        .sum();
+    std::hint::black_box(warm);
+
+    let (dense_scan_lat, dense_scan_eps) = measure(&dense_events, passes, |e| {
+        dense_summary.match_event_scan(e).matched.len()
+    });
+    let (dense_ker_lat, dense_ker_eps) = measure(&dense_events, passes, |e| {
+        dense_summary.match_event_into(e, &mut dense_scratch).matched.len()
+    });
+
+    // Instrumented pass for the intern-table counters: a wire round-trip
+    // forces a full intern rebuild on decode, then matching the decoded
+    // summary accumulates dense-hit and scratch-reuse counts.
+    subsum_telemetry::set_enabled(true);
+    subsum_telemetry::reset();
+    let codec = SummaryCodec::new(
+        IdLayout::new(16, DENSE_SUBS as u64, dense_schema.len() as u32).unwrap(),
+        ArithWidth::Eight,
+    );
+    let decoded = codec
+        .decode(&codec.encode(&dense_summary).unwrap(), &dense_schema)
+        .unwrap();
+    let mut dense_matched = 0usize;
+    for e in &dense_events {
+        dense_matched += decoded.match_event_into(e, &mut dense_scratch).matched.len();
+    }
+    subsum_telemetry::set_enabled(false);
+    let dense_counters: std::collections::BTreeMap<String, u64> =
+        subsum_telemetry::counters_snapshot().into_iter().collect();
+    let dense_counter = |name: &str| Json::UInt(dense_counters.get(name).copied().unwrap_or(0));
+
     let report = Json::obj([
         ("name", Json::Str("bench.matching".to_string())),
         (
@@ -283,6 +384,44 @@ fn emit_matching_report() {
                 (names::SACS_INDEX_HITS, counter(names::SACS_INDEX_HITS)),
                 (names::SACS_ROWS_PRUNED, counter(names::SACS_ROWS_PRUNED)),
                 (names::MATCH_SCRATCH_REUSE, counter(names::MATCH_SCRATCH_REUSE)),
+            ]),
+        ),
+        (
+            "dense_kernel",
+            Json::obj([
+                (
+                    "scenario",
+                    Json::obj([
+                        ("subscriptions", Json::UInt(DENSE_SUBS as u64)),
+                        ("events", Json::UInt(dense_events.len() as u64)),
+                        ("passes", Json::UInt(passes as u64)),
+                        ("matches_per_pass", Json::UInt(dense_matched as u64)),
+                    ]),
+                ),
+                ("before_full_scan", side_json(&dense_scan_lat, dense_scan_eps)),
+                ("after_dense_kernel", side_json(&dense_ker_lat, dense_ker_eps)),
+                (
+                    "throughput_speedup",
+                    Json::Num(dense_ker_eps / dense_scan_eps.max(1e-12)),
+                ),
+                (
+                    "instrumented_pass",
+                    Json::obj([
+                        (names::MATCH_DENSE_HITS, dense_counter(names::MATCH_DENSE_HITS)),
+                        (
+                            names::MATCH_INTERN_REBUILDS,
+                            dense_counter(names::MATCH_INTERN_REBUILDS),
+                        ),
+                        (
+                            names::MATCH_INTERN_RENUMBERS,
+                            dense_counter(names::MATCH_INTERN_RENUMBERS),
+                        ),
+                        (
+                            names::MATCH_SCRATCH_REUSE,
+                            dense_counter(names::MATCH_SCRATCH_REUSE),
+                        ),
+                    ]),
+                ),
             ]),
         ),
     ]);

@@ -133,6 +133,12 @@ pub fn route_event(
 /// As [`route_event`], matching through a caller-owned [`MatchScratch`]
 /// so batched publishers avoid per-event allocations (see
 /// `SummaryPubSub::publish_batch`).
+///
+/// One scratch serves every broker on the routing path even though each
+/// hop matches against a different summary: the epoch-counter kernel
+/// stamps its hit counters per call, so stale counts from a previous
+/// summary are never read and the arrays only grow to the largest
+/// dense-id space seen on the path.
 #[allow(clippy::too_many_arguments)]
 pub fn route_event_with_scratch(
     topology: &Topology,

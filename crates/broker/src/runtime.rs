@@ -129,7 +129,9 @@ struct BrokerState {
     merged_brokers: BTreeSet<NodeId>,
     communicated: BTreeSet<NodeId>,
     /// Per-thread matcher scratch, reused across every event this broker
-    /// thread examines (allocation-free steady-state matching).
+    /// thread examines. The epoch-counter kernel inside grows its dense
+    /// hit-counter arrays to the stored summary's high-water population
+    /// once, after which steady-state matching is allocation-free.
     scratch: MatchScratch,
 }
 

@@ -540,7 +540,10 @@ impl SummaryPubSub {
 
     /// As [`SummaryPubSub::publish`], matching through a caller-owned
     /// [`MatchScratch`]. Publishing takes `&self`, so each worker thread
-    /// of [`SummaryPubSub::publish_batch`] holds its own scratch.
+    /// of [`SummaryPubSub::publish_batch`] holds its own scratch, and the
+    /// scratch's epoch-stamped counter arrays are safely reused across
+    /// the different per-hop summaries of one route (see
+    /// [`route_event_with_scratch`]).
     pub fn publish_with_scratch(
         &self,
         broker: NodeId,

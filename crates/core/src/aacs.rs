@@ -14,15 +14,23 @@
 //! the whole row. Arithmetic matching therefore introduces no false
 //! positives (string SACS summarization is the lossy part; see
 //! [`sacs`](crate::sacs)).
+//!
+//! Posting lists hold **dense ids** — `u32` indices into the owning
+//! [`BrokerSummary`](crate::BrokerSummary)'s intern table — so a row is a
+//! flat 4-byte sorted array rather than a vector of multi-word id
+//! structs. A standalone `RangeSummary` simply interprets ids as opaque
+//! ordered integers; callers that combine summaries must guarantee a
+//! shared dense space (the broker summary does, via its intern table).
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use subsum_types::{Interval, IntervalSet, Num, SubscriptionId};
+use subsum_types::{Interval, IntervalSet, Num};
 
-pub use crate::idlist::IdList;
-use crate::idlist::{idlist_insert, idlist_merge};
+pub use crate::idlist::{DenseId, IdList};
+use crate::idlist::{idlist_insert, idlist_merge, idlist_remap, idlist_remove_remap};
+use crate::sacs::QueryCost;
 
 /// One sub-range row of AACS_SR.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,7 +38,7 @@ pub struct RangeRow {
     /// The non-overlapping sub-range this row represents.
     pub interval: Interval,
     /// Subscriptions whose constraint is satisfied by every value in the
-    /// sub-range.
+    /// sub-range (dense ids, sorted).
     pub ids: IdList,
 }
 
@@ -40,18 +48,15 @@ pub struct RangeRow {
 ///
 /// ```
 /// use subsum_core::RangeSummary;
-/// use subsum_types::{Interval, Num, SubscriptionId, BrokerId, LocalSubId, AttrMask};
+/// use subsum_types::{Interval, Num};
 /// # fn n(v: f64) -> Num { Num::new(v).unwrap() }
-/// # fn id(k: u32) -> SubscriptionId {
-/// #     SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
-/// # }
 /// let mut aacs = RangeSummary::new();
-/// // S1: 8.30 < price < 8.70 (Fig. 4).
-/// aacs.insert_interval(Interval::open(n(8.30), n(8.70)), id(1));
-/// // S2: price = 8.20.
-/// aacs.insert_point(n(8.20), id(2));
-/// assert_eq!(aacs.query(n(8.40)), vec![id(1)]);
-/// assert_eq!(aacs.query(n(8.20)), vec![id(2)]);
+/// // S1: 8.30 < price < 8.70 (Fig. 4); dense id 1.
+/// aacs.insert_interval(Interval::open(n(8.30), n(8.70)), 1);
+/// // S2: price = 8.20; dense id 2.
+/// aacs.insert_point(n(8.20), 2);
+/// assert_eq!(aacs.query(n(8.40)), vec![1]);
+/// assert_eq!(aacs.query(n(8.20)), vec![2]);
 /// assert!(aacs.query(n(9.0)).is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -102,7 +107,7 @@ impl RangeSummary {
 
     /// Records that subscription `id` constrains this attribute to `set`
     /// (the normalized interval-set form of its conjunction).
-    pub fn insert_set(&mut self, set: &IntervalSet, id: SubscriptionId) {
+    pub fn insert_set(&mut self, set: &IntervalSet, id: DenseId) {
         for iv in set.iter() {
             self.insert_interval(*iv, id);
         }
@@ -110,13 +115,13 @@ impl RangeSummary {
 
     /// Records an equality constraint `attr = v` for subscription `id`
     /// (an AACS_E row).
-    pub fn insert_point(&mut self, v: Num, id: SubscriptionId) {
+    pub fn insert_point(&mut self, v: Num, id: DenseId) {
         idlist_insert(self.points.entry(v).or_default(), id);
     }
 
     /// As [`RangeSummary::insert_point`] with several ids at once (used
     /// when decoding and merging summaries).
-    pub fn insert_point_ids(&mut self, v: Num, ids: &[SubscriptionId]) {
+    pub fn insert_point_ids(&mut self, v: Num, ids: &[DenseId]) {
         if ids.is_empty() {
             return;
         }
@@ -126,13 +131,13 @@ impl RangeSummary {
     /// Records a range constraint for subscription `id`, splitting
     /// existing rows as needed to keep the partition exact. Degenerate
     /// point intervals are routed to AACS_E.
-    pub fn insert_interval(&mut self, iv: Interval, id: SubscriptionId) {
+    pub fn insert_interval(&mut self, iv: Interval, id: DenseId) {
         self.insert_interval_ids(iv, &[id]);
     }
 
     /// As [`RangeSummary::insert_interval`] but attaching several ids at
     /// once (used when merging summaries).
-    pub fn insert_interval_ids(&mut self, iv: Interval, ids: &[SubscriptionId]) {
+    pub fn insert_interval_ids(&mut self, iv: Interval, ids: &[DenseId]) {
         if iv.is_empty() || ids.is_empty() {
             return;
         }
@@ -217,15 +222,19 @@ impl RangeSummary {
     /// As [`RangeSummary::query`], appending into a caller buffer (hot
     /// path for the matcher).
     ///
-    /// Returns the number of rows actually probed: the `⌈log₂ n_sr⌉ + 1`
-    /// comparisons of the binary search over the sub-range partition plus
-    /// one equality-map probe when AACS_E is non-empty (the honest cost
-    /// for the §5.2.4 accounting — the old code charged a flat constant).
-    pub fn query_into(&self, v: Num, out: &mut IdList) -> usize {
-        let mut probed = 0usize;
+    /// Returns the honest probe cost for the §5.2.4 accounting, in the
+    /// same [`QueryCost`] shape the SACS index reports: `rows_touched`
+    /// counts the `⌈log₂ n_sr⌉ + 1` comparisons of the binary search over
+    /// the sub-range partition plus one equality-map probe when AACS_E is
+    /// non-empty; `rows_pruned` counts the rows a naive linear scan would
+    /// have visited but the searches skipped.
+    pub fn query_into(&self, v: Num, out: &mut IdList) -> QueryCost {
+        let mut cost = QueryCost::default();
         if !self.ranges.is_empty() {
             // Binary search over the disjoint sorted rows.
-            probed += (usize::BITS - self.ranges.len().leading_zeros()) as usize;
+            let probes = (usize::BITS - self.ranges.len().leading_zeros()) as usize;
+            cost.rows_touched += probes;
+            cost.rows_pruned += self.ranges.len().saturating_sub(probes);
             let idx = self
                 .ranges
                 .partition_point(|row| upper_below(&row.interval, v));
@@ -236,16 +245,19 @@ impl RangeSummary {
             }
         }
         if !self.points.is_empty() {
-            probed += 1;
+            cost.rows_touched += 1;
+            cost.rows_pruned += self.points.len() - 1;
             if let Some(list) = self.points.get(&v) {
                 out.extend_from_slice(list);
             }
         }
-        probed
+        cost
     }
 
-    /// Removes every occurrence of `id`, dropping empty rows.
-    pub fn remove(&mut self, id: SubscriptionId) {
+    /// Removes every occurrence of `id`, dropping empty rows. The dense
+    /// space is left unchanged — use [`RangeSummary::remove_remap`] when
+    /// the intern table slot itself is being vacated.
+    pub fn remove(&mut self, id: DenseId) {
         for row in &mut self.ranges {
             if let Ok(pos) = row.ids.binary_search(&id) {
                 row.ids.remove(pos);
@@ -261,9 +273,37 @@ impl RangeSummary {
         });
     }
 
+    /// Removes `gone` from every posting list and decrements every dense
+    /// id above it — one pass over all postings, performed when the
+    /// owning summary drops slot `gone` from its intern table.
+    pub(crate) fn remove_remap(&mut self, gone: DenseId) {
+        for row in &mut self.ranges {
+            idlist_remove_remap(&mut row.ids, gone);
+        }
+        self.ranges.retain(|r| !r.ids.is_empty());
+        self.coalesce();
+        self.points.retain(|_, list| {
+            idlist_remove_remap(list, gone);
+            !list.is_empty()
+        });
+    }
+
+    /// Applies a strictly monotone dense-id renumbering to every posting
+    /// list (intern-table growth or merge translation).
+    pub(crate) fn remap_ids(&mut self, map: impl Fn(DenseId) -> DenseId + Copy) {
+        for row in &mut self.ranges {
+            idlist_remap(&mut row.ids, map);
+        }
+        for list in self.points.values_mut() {
+            idlist_remap(list, map);
+        }
+    }
+
     /// Merges another attribute summary into this one (multi-broker
     /// summaries, §4.1: "values for the same numeric attributes are simply
-    /// merged").
+    /// merged"). Both sides must already share one dense id space; the
+    /// broker summary guarantees this by translating the incoming
+    /// summary's ids through its merged intern table first.
     pub fn merge(&mut self, other: &RangeSummary) {
         for row in &other.ranges {
             self.insert_interval_ids(row.interval, &row.ids);
@@ -276,7 +316,7 @@ impl RangeSummary {
 
     /// Iterates over every subscription id mentioned in this summary
     /// (with repetition across rows).
-    pub fn all_ids(&self) -> impl Iterator<Item = SubscriptionId> + '_ {
+    pub fn all_ids(&self) -> impl Iterator<Item = DenseId> + '_ {
         self.ranges
             .iter()
             .flat_map(|r| r.ids.iter().copied())
@@ -368,14 +408,15 @@ fn cmp_lo(a: &Interval, b: &Interval) -> std::cmp::Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use subsum_types::{AttrMask, BrokerId, LocalSubId};
 
     fn n(v: f64) -> Num {
         Num::new(v).unwrap()
     }
 
-    fn id(k: u32) -> SubscriptionId {
-        SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
+    /// Standalone-structure tests use small integers as dense ids
+    /// directly; the intern-table mapping is the broker summary's job.
+    fn id(k: u32) -> DenseId {
+        k
     }
 
     #[test]
@@ -476,6 +517,32 @@ mod tests {
     }
 
     #[test]
+    fn remove_remap_shifts_survivors() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(10.0)), id(1));
+        aacs.insert_interval(Interval::closed(n(4.0), n(6.0)), id(2));
+        aacs.insert_point(n(20.0), id(3));
+        // Vacate slot 2: id 3 becomes id 2, id 1 stays.
+        aacs.remove_remap(id(2));
+        assert_eq!(aacs.range_rows(), 1);
+        assert_eq!(aacs.query(n(5.0)), vec![id(1)]);
+        assert_eq!(aacs.query(n(20.0)), vec![id(2)]);
+        aacs.validate();
+    }
+
+    #[test]
+    fn remap_renumbers_all_rows() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(5.0)), id(0));
+        aacs.insert_point(n(9.0), id(1));
+        // Open a hole at slot 1 (a new id interned in the middle).
+        aacs.remap_ids(|d| if d >= 1 { d + 1 } else { d });
+        assert_eq!(aacs.query(n(1.0)), vec![id(0)]);
+        assert_eq!(aacs.query(n(9.0)), vec![id(2)]);
+        aacs.validate();
+    }
+
+    #[test]
     fn merge_combines_summaries() {
         let mut a = RangeSummary::new();
         a.insert_interval(Interval::closed(n(0.0), n(5.0)), id(1));
@@ -502,6 +569,25 @@ mod tests {
         assert!(aacs.query(n(507.0)).is_empty());
         assert_eq!(aacs.query(n(0.0)), vec![id(0)]);
         assert_eq!(aacs.query(n(995.0)), vec![id(99)]);
+    }
+
+    #[test]
+    fn query_cost_reports_probes_and_pruning() {
+        let mut aacs = RangeSummary::new();
+        for k in 0..8u32 {
+            let lo = n(k as f64 * 10.0);
+            let hi = n(k as f64 * 10.0 + 5.0);
+            aacs.insert_interval(Interval::closed(lo, hi), id(k));
+        }
+        aacs.insert_point(n(777.0), id(8));
+        let mut out = IdList::new();
+        let cost = aacs.query_into(n(42.0), &mut out);
+        // ⌈log₂ 8⌉ + 1 = 4 binary-search comparisons plus 1 AACS_E probe.
+        assert_eq!(cost.rows_touched, 5);
+        // 8 − 4 range rows skipped plus 1 − 1 equality rows skipped.
+        assert_eq!(cost.rows_pruned, 4);
+        let empty = RangeSummary::new();
+        assert_eq!(empty.query_into(n(1.0), &mut out), QueryCost::default());
     }
 
     #[test]

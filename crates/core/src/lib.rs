@@ -60,7 +60,7 @@ mod wire;
 pub use aacs::{RangeRow, RangeSummary};
 #[cfg(any(test, debug_assertions))]
 pub use idlist::validate_idlist;
-pub use idlist::IdList;
+pub use idlist::{DenseId, IdList, SubIdList};
 pub use sacs::{PatternRow, PatternSummary, QueryCost};
 pub use stats::{SizeParams, SummaryStats};
 pub use summary::{BrokerSummary, MatchOutcome, MatchScratch, MatchStats};

@@ -54,9 +54,9 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use subsum_telemetry::Count;
-use subsum_types::{Pattern, SubscriptionId};
+use subsum_types::Pattern;
 
-use crate::idlist::{idlist_merge, IdList};
+use crate::idlist::{idlist_merge, idlist_remap, idlist_remove_remap, DenseId, IdList};
 
 /// Wildcard rows tested because an index bucket selected them (plus
 /// literal-map hits), across all queries.
@@ -72,7 +72,7 @@ pub struct PatternRow {
     /// The row's general constraint.
     pub pattern: Pattern,
     /// Subscriptions whose constraint on this attribute is covered by
-    /// the row's pattern.
+    /// the row's pattern (dense ids, sorted).
     pub ids: IdList,
 }
 
@@ -182,20 +182,21 @@ impl PatternIndex {
 /// insertion, a covered constraint joins its covering row, and a covering
 /// constraint absorbs every row it covers.
 ///
+/// Rows carry dense ids (`u32` indices into the owning broker summary's
+/// intern table); a standalone `PatternSummary` treats them as opaque
+/// ordered integers.
+///
 /// # Example
 ///
 /// ```
 /// use subsum_core::PatternSummary;
-/// use subsum_types::{Pattern, SubscriptionId, BrokerId, LocalSubId, AttrMask};
-/// # fn id(k: u32) -> SubscriptionId {
-/// #     SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
-/// # }
+/// use subsum_types::Pattern;
 /// let mut sacs = PatternSummary::new();
-/// sacs.insert(Pattern::literal("microsoft"), id(1));
-/// sacs.insert(Pattern::parse("m*t").unwrap(), id(2));
+/// sacs.insert(Pattern::literal("microsoft"), 1);
+/// sacs.insert(Pattern::parse("m*t").unwrap(), 2);
 /// // "m*t" covers "microsoft": one row remains, carrying both ids.
 /// assert_eq!(sacs.row_count(), 1);
-/// assert_eq!(sacs.query("micronet"), vec![id(1), id(2)]);
+/// assert_eq!(sacs.query("micronet"), vec![1, 2]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 #[serde(from = "PatternSummaryWire", into = "PatternSummaryWire")]
@@ -295,12 +296,12 @@ impl PatternSummary {
     }
 
     /// Summarizes a constraint for subscription `id`.
-    pub fn insert(&mut self, pattern: Pattern, id: SubscriptionId) {
+    pub fn insert(&mut self, pattern: Pattern, id: DenseId) {
         self.insert_ids(pattern, &[id]);
     }
 
     /// As [`PatternSummary::insert`] with several ids (used by merging).
-    pub fn insert_ids(&mut self, pattern: Pattern, ids: &[SubscriptionId]) {
+    pub fn insert_ids(&mut self, pattern: Pattern, ids: &[DenseId]) {
         if ids.is_empty() {
             return;
         }
@@ -428,8 +429,10 @@ impl PatternSummary {
     ///
     /// Removal never *narrows* rows: a row generalized by a departed
     /// subscription keeps its pattern (no false negatives are possible;
-    /// extra generality only costs precision until a rebuild).
-    pub fn remove(&mut self, id: SubscriptionId) {
+    /// extra generality only costs precision until a rebuild). The dense
+    /// space is left unchanged — use [`PatternSummary::remove_remap`]
+    /// when the intern table slot itself is being vacated.
+    pub fn remove(&mut self, id: DenseId) {
         self.literals.retain(|_, ids| {
             if let Ok(pos) = ids.binary_search(&id) {
                 ids.remove(pos);
@@ -448,9 +451,40 @@ impl PatternSummary {
         }
     }
 
+    /// Removes `gone` from every posting list and decrements every dense
+    /// id above it — one pass over all postings, performed when the
+    /// owning summary drops slot `gone` from its intern table.
+    pub(crate) fn remove_remap(&mut self, gone: DenseId) {
+        self.literals.retain(|_, ids| {
+            idlist_remove_remap(ids, gone);
+            !ids.is_empty()
+        });
+        for row in &mut self.patterns {
+            idlist_remove_remap(&mut row.ids, gone);
+        }
+        let before = self.patterns.len();
+        self.patterns.retain(|r| !r.ids.is_empty());
+        if self.patterns.len() != before {
+            self.index.rebuild(&self.patterns);
+        }
+    }
+
+    /// Applies a strictly monotone dense-id renumbering to every posting
+    /// list (intern-table growth or merge translation).
+    pub(crate) fn remap_ids(&mut self, map: impl Fn(DenseId) -> DenseId + Copy) {
+        for ids in self.literals.values_mut() {
+            idlist_remap(ids, map);
+        }
+        for row in &mut self.patterns {
+            idlist_remap(&mut row.ids, map);
+        }
+    }
+
     /// Merges another attribute summary into this one (multi-broker
     /// summaries, §4.1: the union of the rows, re-normalized under
-    /// covering).
+    /// covering). Both sides must already share one dense id space; the
+    /// broker summary guarantees this by translating the incoming
+    /// summary's ids through its merged intern table first.
     pub fn merge(&mut self, other: &PatternSummary) {
         for row in &other.patterns {
             self.insert_ids(row.pattern.clone(), &row.ids);
@@ -472,7 +506,7 @@ impl PatternSummary {
     }
 
     /// Iterates over every subscription id mentioned in this summary.
-    pub fn all_ids(&self) -> impl Iterator<Item = SubscriptionId> + '_ {
+    pub fn all_ids(&self) -> impl Iterator<Item = DenseId> + '_ {
         self.literals
             .values()
             .flat_map(|l| l.iter().copied())
@@ -537,10 +571,11 @@ impl PatternSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use subsum_types::{AttrMask, BrokerId, LocalSubId};
 
-    fn id(k: u32) -> SubscriptionId {
-        SubscriptionId::new(BrokerId(0), LocalSubId(k), AttrMask::empty())
+    /// Standalone-structure tests use small integers as dense ids
+    /// directly; the intern-table mapping is the broker summary's job.
+    fn id(k: u32) -> DenseId {
+        k
     }
 
     fn pat(s: &str) -> Pattern {
@@ -647,6 +682,31 @@ mod tests {
         assert_eq!(sacs.query("OTE"), vec![id(2)]);
         sacs.remove(id(2));
         assert!(sacs.is_empty());
+    }
+
+    #[test]
+    fn remove_remap_shifts_survivors() {
+        let mut sacs = PatternSummary::new();
+        sacs.insert(pat("OT*"), id(1));
+        sacs.insert(pat("OTE"), id(2));
+        sacs.insert(pat("*SE"), id(3));
+        // Vacate slot 2: id 3 becomes id 2, id 1 stays.
+        sacs.remove_remap(id(2));
+        assert_eq!(sacs.query("OTE"), vec![id(1)]);
+        assert_eq!(sacs.query("NYSE"), vec![id(2)]);
+        sacs.validate();
+    }
+
+    #[test]
+    fn remap_renumbers_all_rows() {
+        let mut sacs = PatternSummary::new();
+        sacs.insert(pat("OT*"), id(0));
+        sacs.insert(pat("lit"), id(1));
+        // Open a hole at slot 1 (a new id interned in the middle).
+        sacs.remap_ids(|d| if d >= 1 { d + 1 } else { d });
+        assert_eq!(sacs.query("OTX"), vec![id(0)]);
+        assert_eq!(sacs.query("lit"), vec![id(2)]);
+        sacs.validate();
     }
 
     #[test]

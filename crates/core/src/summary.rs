@@ -17,8 +17,8 @@ use serde::{Deserialize, Serialize};
 use subsum_telemetry::{Count, Stage};
 use subsum_types::{Event, NormalizedAttr, Schema, Subscription, SubscriptionId};
 
-use crate::aacs::{IdList, RangeSummary};
-use crate::idlist::{idlist_insert, idlist_merge};
+use crate::aacs::RangeSummary;
+use crate::idlist::{DenseId, IdList, SubIdList};
 use crate::sacs::PatternSummary;
 
 /// Telemetry stages of the summary hot paths (recorded only while the
@@ -29,6 +29,133 @@ static STAGE_MATCH: Stage = Stage::new(subsum_telemetry::names::CORE_SUMMARY_MAT
 /// Matches served by a warm (previously used) [`MatchScratch`] — i.e.
 /// matches that performed no steady-state heap allocation.
 static CNT_SCRATCH_REUSE: Count = Count::new(subsum_telemetry::names::MATCH_SCRATCH_REUSE);
+/// Dense postings processed by the counter kernel (the `P` of the T₂
+/// term), across all events.
+static CNT_DENSE_HITS: Count = Count::new(subsum_telemetry::names::MATCH_DENSE_HITS);
+/// Wholesale intern-table rebuilds (wire decode and summary merge).
+static CNT_INTERN_REBUILDS: Count = Count::new(subsum_telemetry::names::MATCH_INTERN_REBUILDS);
+/// Posting renumberings caused by an interactive insert landing in the
+/// middle of the dense order (out-of-order subscription ids).
+static CNT_INTERN_RENUMBERS: Count = Count::new(subsum_telemetry::names::MATCH_INTERN_RENUMBERS);
+
+/// The per-summary intern table: dense id `d` stands for `ids[d]`.
+///
+/// Invariant: `ids` is sorted and deduplicated, so **dense order equals
+/// `SubscriptionId` order** at all times. Sorted dense posting lists
+/// therefore resolve to sorted subscription-id lists with no per-event
+/// sorting. `required[d]` caches `ids[d].mask.count()` — the number of
+/// satisfied attributes the counter kernel must see before reporting
+/// dense id `d`; it is derived from the masks and is rebuilt, never
+/// serialized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(from = "InternTableWire", into = "InternTableWire")]
+pub(crate) struct InternTable {
+    ids: SubIdList,
+    required: Vec<u32>, // lint: derived
+}
+
+/// The serialized shape of an [`InternTable`]: only the id list travels;
+/// the `required` counters are reconstructed from the id masks.
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "InternTable")]
+struct InternTableWire {
+    ids: SubIdList,
+}
+
+impl From<InternTable> for InternTableWire {
+    fn from(t: InternTable) -> Self {
+        InternTableWire { ids: t.ids }
+    }
+}
+
+impl From<InternTableWire> for InternTable {
+    fn from(w: InternTableWire) -> Self {
+        InternTable::from_ids(w.ids)
+    }
+}
+
+impl InternTable {
+    /// Builds a table over a sorted, deduplicated id list.
+    fn from_ids(ids: SubIdList) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "intern ids sorted");
+        let required = ids.iter().map(|id| id.mask.count()).collect();
+        InternTable { ids, required }
+    }
+
+    /// Number of interned ids (== the dense id space size).
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The dense id of `id`, or the rank where it would be interned.
+    fn position(&self, id: &subsum_types::SubscriptionId) -> Result<usize, usize> {
+        self.ids.binary_search(id)
+    }
+
+    /// The full id behind dense id `d`.
+    fn resolve(&self, d: DenseId) -> subsum_types::SubscriptionId {
+        self.ids[d as usize]
+    }
+
+    /// The satisfied-attribute count dense id `d` needs to match.
+    fn required(&self, d: usize) -> u32 {
+        self.required[d]
+    }
+
+    /// Interns `id` at rank `pos` (caller renumbers postings first).
+    fn insert_at(&mut self, pos: usize, id: subsum_types::SubscriptionId) {
+        self.ids.insert(pos, id);
+        self.required.insert(pos, id.mask.count());
+    }
+
+    /// Drops the slot at rank `pos` (caller renumbers postings).
+    fn remove_at(&mut self, pos: usize) {
+        self.ids.remove(pos);
+        self.required.remove(pos);
+    }
+
+    /// Unions two tables into a fresh one, returning monotone translation
+    /// arrays from each side's dense space into the union's. Linear in
+    /// the total id count, so summary merging stays linear overall.
+    fn union_translate(&self, other: &InternTable) -> (InternTable, Vec<DenseId>, Vec<DenseId>) {
+        let mut ids = SubIdList::with_capacity(self.ids.len() + other.ids.len());
+        let mut trans_self = Vec::with_capacity(self.ids.len());
+        let mut trans_other = Vec::with_capacity(other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    trans_self.push(ids.len() as DenseId);
+                    ids.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    trans_other.push(ids.len() as DenseId);
+                    ids.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    trans_self.push(ids.len() as DenseId);
+                    trans_other.push(ids.len() as DenseId);
+                    ids.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < self.ids.len() {
+            trans_self.push(ids.len() as DenseId);
+            ids.push(self.ids[i]);
+            i += 1;
+        }
+        while j < other.ids.len() {
+            trans_other.push(ids.len() as DenseId);
+            ids.push(other.ids[j]);
+            j += 1;
+        }
+        (InternTable::from_ids(ids), trans_self, trans_other)
+    }
+}
 
 /// A complete subscription summary for one (or, after merging, several)
 /// broker(s): one AACS per arithmetic attribute and one SACS per string
@@ -76,11 +203,13 @@ pub struct BrokerSummary {
     arith: Vec<Option<RangeSummary>>,
     /// Indexed by attribute id; `None` for arithmetic attributes.
     strings: Vec<Option<PatternSummary>>,
-    /// The sorted distinct subscription ids present in any row — a
-    /// maintained counter-cache so `subscription_count` is `O(1)` instead
-    /// of flattening every id list. Invariant: equals
-    /// [`BrokerSummary::subscription_ids`].
-    known: IdList,
+    /// The intern table behind every row's dense posting list. Its id
+    /// list equals [`BrokerSummary::subscription_ids`], so it doubles as
+    /// the known-id counter cache. Relative to the byte wire this is
+    /// derived state: `SummaryCodec` ships plain `SubscriptionId` lists
+    /// and the decoder rebuilds the table (the `lint: derived` tag makes
+    /// `cargo xtask check` reject any reference from the wire codec).
+    intern: InternTable, // lint: derived
 }
 
 impl BrokerSummary {
@@ -91,7 +220,7 @@ impl BrokerSummary {
             schema,
             arith: vec![None; n],
             strings: vec![None; n],
-            known: IdList::new(),
+            intern: InternTable::default(),
         }
     }
 
@@ -130,7 +259,18 @@ impl BrokerSummary {
         let _span = STAGE_INSERT.start();
         debug_assert_eq!(id.mask, sub.attr_mask(), "id mask must match constraints");
         let normalized = sub.normalize();
-        let mut touched = false;
+        // Only ids that will leave a trace in some row are interned: an
+        // everywhere-unsatisfiable subscription (empty interval set)
+        // leaves no trace, its counter can never reach its mask count,
+        // and it must not occupy an intern slot either.
+        let touches = normalized.iter().any(|(_, na)| match na {
+            NormalizedAttr::Arithmetic(set) => !set.is_empty(),
+            NormalizedAttr::String(constraints) => !constraints.is_empty(),
+        });
+        if !touches {
+            return;
+        }
+        let dense = self.intern_id(id);
         for (attr, na) in normalized.iter() {
             match na {
                 NormalizedAttr::Arithmetic(set) => {
@@ -142,8 +282,7 @@ impl BrokerSummary {
                         continue;
                     }
                     let slot = self.arith[attr.index()].get_or_insert_with(RangeSummary::new);
-                    slot.insert_set(set, id);
-                    touched = true;
+                    slot.insert_set(set, dense);
                 }
                 NormalizedAttr::String(constraints) => {
                     let slot = self.strings[attr.index()].get_or_insert_with(PatternSummary::new);
@@ -151,37 +290,63 @@ impl BrokerSummary {
                         // `≠` widens to the universal pattern: sound
                         // over-approximation, re-verified at the home
                         // broker.
-                        slot.insert(c.over_approximation(), id);
-                        touched = true;
+                        slot.insert(c.over_approximation(), dense);
                     }
                 }
             }
         }
-        // Only ids that left a trace in some row are "known": an
-        // everywhere-unsatisfiable subscription is absent from the rows,
-        // so it must not be counted either.
-        if touched {
-            idlist_insert(&mut self.known, id);
+    }
+
+    /// Interns `id`, returning its dense id. When a new id lands in the
+    /// middle of the dense order (ids usually arrive ascending), every
+    /// posting at or above the insertion rank is renumbered up by one —
+    /// a monotone shift, so all posting lists stay sorted.
+    fn intern_id(&mut self, id: SubscriptionId) -> DenseId {
+        match self.intern.position(&id) {
+            Ok(pos) => pos as DenseId,
+            Err(pos) => {
+                if pos < self.intern.len() {
+                    CNT_INTERN_RENUMBERS.inc();
+                    let rank = pos as DenseId;
+                    self.remap_all(move |d| if d >= rank { d + 1 } else { d });
+                }
+                self.intern.insert_at(pos, id);
+                pos as DenseId
+            }
         }
     }
 
-    /// Removes a subscription's traces from every attribute structure.
+    /// Applies a strictly monotone dense-id renumbering to every posting
+    /// list in every attribute structure.
+    fn remap_all(&mut self, map: impl Fn(DenseId) -> DenseId + Copy) {
+        for s in self.arith.iter_mut().flatten() {
+            s.remap_ids(map);
+        }
+        for s in self.strings.iter_mut().flatten() {
+            s.remap_ids(map);
+        }
+    }
+
+    /// Removes a subscription's traces from every attribute structure
+    /// and vacates its intern slot (every surviving posting above the
+    /// slot shifts down by one — a single linear pass; removal is a
+    /// maintenance path, not the hot path).
     ///
     /// SACS rows keep their (possibly generalized) patterns; summaries
     /// only ever become *more* precise again through
     /// [`BrokerSummary::rebuild`].
     pub fn remove(&mut self, id: SubscriptionId) {
-        for attr in id.mask.iter() {
-            if let Some(Some(s)) = self.arith.get_mut(attr.index()) {
-                s.remove(id);
-            }
-            if let Some(Some(s)) = self.strings.get_mut(attr.index()) {
-                s.remove(id);
-            }
+        let Ok(pos) = self.intern.position(&id) else {
+            return;
+        };
+        let gone = pos as DenseId;
+        for s in self.arith.iter_mut().flatten() {
+            s.remove_remap(gone);
         }
-        if let Ok(pos) = self.known.binary_search(&id) {
-            self.known.remove(pos);
+        for s in self.strings.iter_mut().flatten() {
+            s.remove_remap(gone);
         }
+        self.intern.remove_at(pos);
     }
 
     /// Reconstructs a summary from an exact subscription store, shedding
@@ -210,69 +375,131 @@ impl BrokerSummary {
             self.schema.is_compatible(&other.schema),
             "cannot merge summaries over different schemata"
         );
+        // Union the two dense id spaces once, up front, producing
+        // monotone translation arrays — both sides' postings then remap
+        // in linear passes instead of re-interning id by id.
+        CNT_INTERN_REBUILDS.inc();
+        let (union, trans_self, trans_other) = self.intern.union_translate(&other.intern);
+        let identity = trans_self
+            .last()
+            .map_or(true, |&d| d as usize == trans_self.len() - 1);
+        if !identity {
+            self.remap_all(|d| trans_self[d as usize]);
+        }
+        self.intern = union;
+        let mut buf = IdList::new();
         for (idx, slot) in other.arith.iter().enumerate() {
             if let Some(theirs) = slot {
-                self.arith[idx]
-                    .get_or_insert_with(RangeSummary::new)
-                    .merge(theirs);
+                let mine = self.arith[idx].get_or_insert_with(RangeSummary::new);
+                for row in theirs.ranges() {
+                    translate_into(&trans_other, &row.ids, &mut buf);
+                    mine.insert_interval_ids(row.interval, &buf);
+                }
+                for (v, ids) in theirs.points() {
+                    translate_into(&trans_other, ids, &mut buf);
+                    mine.insert_point_ids(v, &buf);
+                }
             }
         }
         for (idx, slot) in other.strings.iter().enumerate() {
             if let Some(theirs) = slot {
-                self.strings[idx]
-                    .get_or_insert_with(PatternSummary::new)
-                    .merge(theirs);
+                let mine = self.strings[idx].get_or_insert_with(PatternSummary::new);
+                for (pattern, ids) in theirs.rows() {
+                    translate_into(&trans_other, ids, &mut buf);
+                    mine.insert_ids(pattern, &buf);
+                }
             }
         }
-        idlist_merge(&mut self.known, &other.known);
     }
 
-    /// Inserts a raw AACS sub-range row (decoder and merge internals).
-    pub(crate) fn insert_arith_row(
+    /// Installs the rows of a decoded summary in one pass (decoder
+    /// internals). The wire carries plain `SubscriptionId` lists — the
+    /// dense representation never travels — so the intern table is
+    /// rebuilt wholesale here: union all row ids, then translate each
+    /// row's sorted id list to dense postings. Rebuilding in two passes
+    /// keeps decode linear; interning row by row would renumber postings
+    /// quadratically on adversarial id orders.
+    pub(crate) fn install_decoded_rows(
         &mut self,
-        attr: subsum_types::AttrId,
-        iv: subsum_types::Interval,
-        ids: &[SubscriptionId],
+        arith_rows: &[(subsum_types::AttrId, subsum_types::Interval, SubIdList)],
+        point_rows: &[(subsum_types::AttrId, subsum_types::Num, SubIdList)],
+        string_rows: &[(subsum_types::AttrId, subsum_types::Pattern, SubIdList)],
     ) {
-        if iv.is_empty() || ids.is_empty() {
-            return;
+        CNT_INTERN_REBUILDS.inc();
+        // Pass 1: the union of the ids of every row that will actually
+        // install (skipping the rows the old per-row inserters skipped,
+        // so no table slot ends up without a posting).
+        let mut all = SubIdList::new();
+        for (_, iv, ids) in arith_rows {
+            if !iv.is_empty() && !ids.is_empty() {
+                all.extend_from_slice(ids);
+            }
         }
-        self.arith[attr.index()]
-            .get_or_insert_with(RangeSummary::new)
-            .insert_interval_ids(iv, ids);
-        idlist_merge(&mut self.known, ids);
+        for (_, _, ids) in point_rows {
+            all.extend_from_slice(ids);
+        }
+        for (_, _, ids) in string_rows {
+            all.extend_from_slice(ids);
+        }
+        all.sort_unstable();
+        all.dedup();
+        self.intern = InternTable::from_ids(all);
+        // Pass 2: install each row with its ids translated to dense
+        // postings (a sorted id list maps to a sorted dense list).
+        let mut buf = IdList::new();
+        for (attr, iv, ids) in arith_rows {
+            if iv.is_empty() || ids.is_empty() {
+                continue;
+            }
+            buf.clear();
+            for id in ids {
+                if let Ok(pos) = self.intern.position(id) {
+                    buf.push(pos as DenseId);
+                }
+            }
+            self.arith[attr.index()]
+                .get_or_insert_with(RangeSummary::new)
+                .insert_interval_ids(*iv, &buf);
+        }
+        for (attr, v, ids) in point_rows {
+            if ids.is_empty() {
+                continue;
+            }
+            buf.clear();
+            for id in ids {
+                if let Ok(pos) = self.intern.position(id) {
+                    buf.push(pos as DenseId);
+                }
+            }
+            self.arith[attr.index()]
+                .get_or_insert_with(RangeSummary::new)
+                .insert_point_ids(*v, &buf);
+        }
+        for (attr, pattern, ids) in string_rows {
+            if ids.is_empty() {
+                continue;
+            }
+            buf.clear();
+            for id in ids {
+                if let Ok(pos) = self.intern.position(id) {
+                    buf.push(pos as DenseId);
+                }
+            }
+            self.strings[attr.index()]
+                .get_or_insert_with(PatternSummary::new)
+                .insert_ids(pattern.clone(), &buf);
+        }
     }
 
-    /// Inserts a raw AACS equality row (decoder internals).
-    pub(crate) fn insert_arith_point_row(
-        &mut self,
-        attr: subsum_types::AttrId,
-        v: subsum_types::Num,
-        ids: &[SubscriptionId],
-    ) {
-        if ids.is_empty() {
-            return;
+    /// Resolves a dense posting list to full subscription ids, replacing
+    /// the contents of `out` (encoder support — the wire codec stays
+    /// representation-free and never sees dense ids). Dense order equals
+    /// id order, so the output is sorted.
+    pub(crate) fn resolve_postings(&self, dense: &[DenseId], out: &mut SubIdList) {
+        out.clear();
+        for &d in dense {
+            out.push(self.intern.resolve(d));
         }
-        self.arith[attr.index()]
-            .get_or_insert_with(RangeSummary::new)
-            .insert_point_ids(v, ids);
-        idlist_merge(&mut self.known, ids);
-    }
-
-    /// Inserts a raw SACS row (decoder internals).
-    pub(crate) fn insert_string_row(
-        &mut self,
-        attr: subsum_types::AttrId,
-        pattern: subsum_types::Pattern,
-        ids: &[SubscriptionId],
-    ) {
-        if ids.is_empty() {
-            return;
-        }
-        self.strings[attr.index()]
-            .get_or_insert_with(PatternSummary::new)
-            .insert_ids(pattern, ids);
-        idlist_merge(&mut self.known, ids);
     }
 
     /// The AACS for an attribute, if any constraint was recorded.
@@ -309,15 +536,21 @@ impl BrokerSummary {
     /// Matches an event against the summary using caller-owned scratch
     /// buffers — the allocation-free hot path of Algorithm 1.
     ///
-    /// The per-id counters of Algorithm 1 are realized by sorting the
-    /// concatenation of the per-attribute id sets and counting run
-    /// lengths — `O(P log P)` in the `P` collected ids, with far better
-    /// constants than hashing each id. All working memory (the collected
-    /// ids, the per-attribute set, the matched output) lives in
-    /// `scratch`, so once the buffers have grown to the workload's
-    /// high-water mark the matcher performs **zero heap allocations**
-    /// (`sort_unstable` is in-place pdqsort; the per-attribute queries
-    /// append into the scratch buffers).
+    /// This is a literal **counter kernel** over the dense id space: one
+    /// `O(P)` pass over the `P` collected dense postings, with no sort
+    /// and no per-attribute dedup allocation. Per posting the kernel
+    /// bumps an epoch-stamped `hits` counter (lazily invalidated by the
+    /// event epoch, so nothing is cleared between events); a second
+    /// per-attribute stamp deduplicates subscriptions holding several
+    /// satisfied constraints on one attribute. An id matches when its
+    /// counter reaches the summary's precomputed `required` count (its
+    /// `c3` mask popcount). Matched dense ids are marked in a bitmap and
+    /// extracted in ascending dense order — which *is* ascending
+    /// `SubscriptionId` order, by the intern-table invariant — so the
+    /// output is sorted without sorting. All working memory lives in
+    /// `scratch`; the per-id arrays grow once to the largest summary
+    /// population seen, after which the matcher performs **zero heap
+    /// allocations**.
     ///
     /// The returned reference borrows `scratch`; the outcome stays
     /// readable until the next `match_event_into` call with the same
@@ -329,8 +562,13 @@ impl BrokerSummary {
     ) -> &'s MatchOutcome {
         let _span = STAGE_MATCH.start();
         let MatchScratch {
-            collected,
             per_attr,
+            hits,
+            stamp,
+            seen,
+            touched,
+            matched_words,
+            token,
             outcome,
             used,
         } = scratch;
@@ -338,11 +576,29 @@ impl BrokerSummary {
             CNT_SCRATCH_REUSE.inc();
         }
         *used = true;
-        collected.clear();
         outcome.matched.clear();
+        touched.clear();
         let mut stats = MatchStats::default();
+        // Grow the per-id arrays to this summary's population — the only
+        // allocation path; at steady state the arrays already fit.
+        let n = self.intern.len();
+        if hits.len() < n {
+            hits.resize(n, 0);
+            stamp.resize(n, 0);
+            seen.resize(n, 0);
+        }
+        if matched_words.len() < n.div_ceil(64) {
+            matched_words.resize(n.div_ceil(64), 0);
+        }
+        // Epoch stamping: one fresh token for the event, then one per
+        // attribute. Stale array entries never compare equal to a fresh
+        // token, so no clearing pass is needed.
+        let epoch = *token + 1;
+        let mut attr_token = epoch;
+        let mut dense_postings = 0u64;
 
-        // Step 1: per event attribute, collect satisfied id lists.
+        // Step 1: per event attribute, stream the satisfied posting
+        // lists through the counters.
         for (attr, value) in event.iter() {
             per_attr.clear();
             // Attribute kinds partition into arithmetic and string, so a
@@ -350,7 +606,9 @@ impl BrokerSummary {
             if self.schema.kind(attr).is_arithmetic() {
                 if let Some(s) = self.arith_summary(attr) {
                     if let Some(v) = value.as_num() {
-                        stats.rows_scanned += s.query_into(v, per_attr);
+                        let cost = s.query_into(v, per_attr);
+                        stats.rows_scanned += cost.rows_touched;
+                        stats.rows_pruned += cost.rows_pruned;
                     }
                 }
             } else if let Some(s) = self.string_summary(attr) {
@@ -360,30 +618,56 @@ impl BrokerSummary {
                     stats.rows_pruned += cost.rows_pruned;
                 }
             }
-            // Count each subscription once per *attribute* even when it
-            // holds several satisfied constraints on it.
-            per_attr.sort_unstable();
-            per_attr.dedup();
-            stats.ids_collected += per_attr.len();
-            collected.extend_from_slice(per_attr);
+            attr_token += 1;
+            dense_postings += per_attr.len() as u64;
+            for &d in per_attr.iter() {
+                let di = d as usize;
+                // Count each subscription once per *attribute* even when
+                // several of its constraints on it are satisfied.
+                if seen[di] == attr_token {
+                    continue;
+                }
+                seen[di] = attr_token;
+                stats.ids_collected += 1;
+                if stamp[di] == epoch {
+                    hits[di] += 1;
+                } else {
+                    stamp[di] = epoch;
+                    hits[di] = 1;
+                    touched.push(d);
+                }
+            }
         }
+        *token = attr_token;
+        CNT_DENSE_HITS.add(dense_postings);
 
         // Step 2: a subscription matches when its counter equals the
-        // number of attributes in its c3 mask. Equal ids are adjacent
-        // after sorting; count run lengths.
-        collected.sort_unstable();
-        let mut i = 0;
-        while i < collected.len() {
-            let id = collected[i];
-            let mut j = i + 1;
-            while j < collected.len() && collected[j] == id {
-                j += 1;
+        // number of attributes in its c3 mask (`required`). Mark matches
+        // in the bitmap, then extract set bits word by word: ascending
+        // dense order is ascending `SubscriptionId` order, so the output
+        // comes out sorted with no sort.
+        stats.candidates = touched.len();
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for &d in touched.iter() {
+            let di = d as usize;
+            if hits[di] == self.intern.required(di) {
+                let w = di / 64;
+                matched_words[w] |= 1u64 << (di % 64);
+                lo = lo.min(w);
+                hi = hi.max(w);
             }
-            stats.candidates += 1;
-            if (j - i) as u32 == id.mask.count() {
-                outcome.matched.push(id);
+        }
+        if lo <= hi {
+            for w in lo..=hi {
+                let mut bits = matched_words[w];
+                matched_words[w] = 0;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    outcome.matched.push(self.intern.resolve((w * 64 + b) as DenseId));
+                }
             }
-            i = j;
         }
         outcome.stats = stats;
         outcome
@@ -395,22 +679,32 @@ impl BrokerSummary {
     /// `matched` equals [`BrokerSummary::match_event`] exactly (same
     /// sorted order).
     pub fn match_event_scan(&self, event: &Event) -> MatchOutcome {
-        let mut collected = IdList::new();
-        let mut per_attr = IdList::new();
+        let mut collected = SubIdList::new();
+        let mut per_attr = SubIdList::new();
+        let mut dense = IdList::new();
         let mut stats = MatchStats::default();
         for (attr, value) in event.iter() {
             per_attr.clear();
+            dense.clear();
             if self.schema.kind(attr).is_arithmetic() {
                 if let Some(s) = self.arith_summary(attr) {
                     if let Some(v) = value.as_num() {
-                        stats.rows_scanned += s.query_into(v, &mut per_attr);
+                        let cost = s.query_into(v, &mut dense);
+                        stats.rows_scanned += cost.rows_touched;
+                        stats.rows_pruned += cost.rows_pruned;
                     }
                 }
             } else if let Some(s) = self.string_summary(attr) {
                 if let Some(v) = value.as_str() {
-                    s.query_scan_into(v, &mut per_attr);
+                    s.query_scan_into(v, &mut dense);
                     stats.rows_scanned += s.row_count();
                 }
+            }
+            // The reference path works on plain subscription ids: resolve
+            // each dense posting immediately and keep the original
+            // sort-and-count-runs realization of Algorithm 1.
+            for &d in &dense {
+                per_attr.push(self.intern.resolve(d));
             }
             per_attr.sort_unstable();
             per_attr.dedup();
@@ -436,25 +730,26 @@ impl BrokerSummary {
     }
 
     /// The distinct subscription ids present anywhere in the summary,
-    /// sorted — one flat pass over the id lists, no per-structure
-    /// temporaries.
+    /// sorted — computed from the rows (one flat pass over the dense
+    /// posting lists), independently of the intern table, so `validate`
+    /// can cross-check the two.
     pub fn subscription_ids(&self) -> Vec<SubscriptionId> {
-        let mut ids: Vec<SubscriptionId> = self
+        let mut dense: Vec<DenseId> = self
             .arith
             .iter()
             .flatten()
             .flat_map(|s| s.all_ids())
             .chain(self.strings.iter().flatten().flat_map(|s| s.all_ids()))
             .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+        dense.sort_unstable();
+        dense.dedup();
+        dense.into_iter().map(|d| self.intern.resolve(d)).collect()
     }
 
     /// The number of distinct subscriptions summarized — `O(1)`, served
-    /// from the maintained id set.
+    /// from the intern table.
     pub fn subscription_count(&self) -> usize {
-        self.known.len()
+        self.intern.len()
     }
 
     /// Checks the deep structural invariants of the whole summary.
@@ -467,9 +762,10 @@ impl BrokerSummary {
     ///   slot sits on an attribute of the matching kind;
     /// * every per-attribute structure passes its own
     ///   [`RangeSummary::validate`] / [`PatternSummary::validate`];
-    /// * the maintained `known` id cache equals the sorted distinct ids
-    ///   actually present in the rows
-    ///   ([`BrokerSummary::subscription_ids`]).
+    /// * intern-table coherence: the interned ids are strictly sorted,
+    ///   `required[d]` equals each id's mask popcount, every dense
+    ///   posting is in table range, and the referenced dense ids are
+    ///   exactly `0..len` (contiguous — no zombie slots, no danglers).
     ///
     /// # Panics
     ///
@@ -496,26 +792,82 @@ impl BrokerSummary {
                 s.validate();
             }
         }
-        crate::idlist::validate_idlist(&self.known);
-        assert!(
-            self.known == self.subscription_ids(),
-            "known-id cache out of sync with the summary rows"
+        crate::idlist::validate_idlist(&self.intern.ids);
+        assert_eq!(
+            self.intern.ids.len(),
+            self.intern.required.len(),
+            "required[] length out of sync with the intern table"
         );
+        for (d, id) in self.intern.ids.iter().enumerate() {
+            assert!(
+                self.intern.required[d] == id.mask.count(),
+                "required[] inconsistent with the id mask at dense id {d}"
+            );
+        }
+        let mut dense: Vec<DenseId> = self
+            .arith
+            .iter()
+            .flatten()
+            .flat_map(|s| s.all_ids())
+            .chain(self.strings.iter().flatten().flat_map(|s| s.all_ids()))
+            .collect();
+        dense.sort_unstable();
+        dense.dedup();
+        for &d in &dense {
+            assert!(
+                (d as usize) < self.intern.ids.len(),
+                "dense id {d} out of intern-table range"
+            );
+        }
+        assert!(
+            dense.len() == self.intern.ids.len()
+                && dense.iter().enumerate().all(|(i, &d)| i == d as usize),
+            "intern table out of sync with the summary rows"
+        );
+    }
+}
+
+/// Translates a sorted dense posting list through a monotone translation
+/// array into `buf` (summary merging). The result is sorted because the
+/// translation is strictly increasing.
+fn translate_into(trans: &[DenseId], ids: &[DenseId], buf: &mut IdList) {
+    buf.clear();
+    for &d in ids {
+        buf.push(trans[d as usize]);
     }
 }
 
 /// Reusable working memory for [`BrokerSummary::match_event_into`].
 ///
-/// Holds the matcher's collected-id and per-attribute buffers plus the
-/// [`MatchOutcome`] it fills; reusing one scratch across events keeps the
-/// steady-state match loop free of heap allocations. A scratch is tied to
-/// no particular summary and may be reused across brokers.
+/// Holds the epoch-counter kernel's per-dense-id arrays (`hits` counters
+/// with their validity stamps, the per-attribute dedup stamps, the
+/// matched-id bitmap) plus the [`MatchOutcome`] it fills. The arrays are
+/// indexed by dense id and sized to the largest summary population this
+/// scratch has served; stamping makes stale entries self-invalidating,
+/// so nothing is cleared between events and reusing one scratch across
+/// events keeps the steady-state match loop free of heap allocations. A
+/// scratch is tied to no particular summary and may be reused across
+/// brokers.
 #[derive(Debug, Clone, Default)]
 pub struct MatchScratch {
-    /// Concatenated per-attribute id sets (Algorithm 1's multiset).
-    collected: IdList,
-    /// Per-attribute query buffer, deduplicated before concatenation.
+    /// Per-attribute query buffer (dense postings, possibly duplicated
+    /// when one subscription holds several constraints on an attribute).
     per_attr: IdList,
+    /// Per-dense-id satisfied-attribute counters, valid for the current
+    /// event when `stamp` carries the event epoch.
+    hits: Vec<u32>,
+    /// Event-epoch stamps validating `hits`.
+    stamp: Vec<u64>,
+    /// Attribute-token stamps deduplicating postings within one
+    /// attribute (replaces the old per-attribute sort + dedup).
+    seen: Vec<u64>,
+    /// Distinct dense ids hit by the current event (the candidates).
+    touched: Vec<DenseId>,
+    /// Bitmap over dense ids marking the matched ones; zeroed again
+    /// during extraction.
+    matched_words: Vec<u64>,
+    /// Monotone token source for event epochs and attribute tokens.
+    token: u64,
     /// The outcome of the most recent match.
     outcome: MatchOutcome,
     /// Whether this scratch has served a match before (drives the
@@ -554,15 +906,15 @@ impl std::fmt::Display for BrokerSummary {
                     writeln!(f, "AACS for attribute {}", spec.name)?;
                     for row in a.ranges() {
                         write!(f, "  {} ->", row.interval)?;
-                        for id in &row.ids {
-                            write!(f, " {id}")?;
+                        for &d in &row.ids {
+                            write!(f, " {}", self.intern.resolve(d))?;
                         }
                         writeln!(f)?;
                     }
                     for (v, ids) in a.points() {
                         write!(f, "  = {v} ->")?;
-                        for id in ids {
-                            write!(f, " {id}")?;
+                        for &d in ids {
+                            write!(f, " {}", self.intern.resolve(d))?;
                         }
                         writeln!(f)?;
                     }
@@ -575,8 +927,8 @@ impl std::fmt::Display for BrokerSummary {
                 writeln!(f, "SACS for attribute {}", spec.name)?;
                 for (pattern, ids) in s.rows() {
                     write!(f, "  {pattern} ->")?;
-                    for id in ids {
-                        write!(f, " {id}")?;
+                    for &d in ids {
+                        write!(f, " {}", self.intern.resolve(d))?;
                     }
                     writeln!(f)?;
                 }
@@ -935,7 +1287,7 @@ mod tests {
         let id1 = summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
         let id2 = summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
         assert_eq!(summary.subscription_count(), 2);
-        assert_eq!(summary.subscription_ids(), summary.known);
+        assert_eq!(summary.subscription_ids(), summary.intern.ids);
         // Unsatisfiable arithmetic conjunctions leave no trace and are
         // not counted.
         let unsat = Subscription::builder(&schema)
@@ -947,11 +1299,11 @@ mod tests {
             .unwrap();
         summary.insert(BrokerId(0), LocalSubId(3), &unsat);
         assert_eq!(summary.subscription_count(), 2);
-        assert_eq!(summary.subscription_ids(), summary.known);
+        assert_eq!(summary.subscription_ids(), summary.intern.ids);
         summary.remove(id1);
         assert_eq!(summary.subscription_count(), 1);
         assert_eq!(summary.subscription_ids(), vec![id2]);
-        assert_eq!(summary.subscription_ids(), summary.known);
+        assert_eq!(summary.subscription_ids(), summary.intern.ids);
     }
 
     #[test]
@@ -970,18 +1322,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "known-id cache out of sync")]
-    fn validate_rejects_stale_known_cache() {
+    #[should_panic(expected = "intern table out of sync with the summary rows")]
+    fn validate_rejects_stale_intern_table() {
         let schema = schema();
         let mut summary = BrokerSummary::new(schema.clone());
         summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
-        // Corrupt the counter cache behind the API's back.
-        summary.known.push(SubscriptionId::new(
+        // Corrupt the intern table behind the API's back: a slot no row
+        // references breaks the contiguity invariant.
+        let bogus = SubscriptionId::new(
             BrokerId(9),
             LocalSubId(9),
             subsum_types::AttrMask::empty(),
-        ));
+        );
+        summary.intern.required.push(bogus.mask.count());
+        summary.intern.ids.push(bogus);
         summary.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "required[] length out of sync")]
+    fn validate_rejects_required_length_mismatch() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.intern.required.push(7);
+        summary.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "required[] inconsistent with the id mask")]
+    fn validate_rejects_corrupt_required_counts() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.intern.required[0] += 1;
+        summary.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of intern-table range")]
+    fn validate_rejects_dangling_dense_postings() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        // Shrink the table out from under the rows.
+        summary.intern.ids.pop();
+        summary.intern.required.pop();
+        summary.validate();
+    }
+
+    #[test]
+    fn out_of_order_inserts_renumber_and_still_match() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        // Descending local ids force the renumber path in `intern_id`:
+        // each insert lands at rank 0 and shifts the existing postings.
+        for k in (1..=5u32).rev() {
+            let sub = Subscription::builder(&schema)
+                .str_op("symbol", StrOp::Eq, "OTX")
+                .unwrap()
+                .build()
+                .unwrap();
+            summary.insert(BrokerId(0), LocalSubId(k), &sub);
+        }
+        summary.validate();
+        let e = Event::builder(&schema)
+            .str("symbol", "OTX")
+            .unwrap()
+            .build();
+        let matched = summary.match_event(&e);
+        assert_eq!(matched.len(), 5);
+        assert_eq!(matched, summary.match_event_scan(&e).matched);
+        assert!(matched.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use subsum_types::{
     SubscriptionId, TypeError, UpperBound,
 };
 
-use crate::aacs::IdList;
+use crate::idlist::SubIdList;
 use crate::summary::BrokerSummary;
 
 /// Arithmetic value width on the wire.
@@ -149,6 +149,11 @@ impl SummaryCodec {
         });
         let schema = summary.schema();
 
+        // Row postings are dense ids internal to the summary; the wire
+        // stays representation-free, so each list is resolved to full
+        // subscription ids through one reused buffer before encoding.
+        let mut resolved = SubIdList::new();
+
         let arith_attrs: Vec<_> = schema
             .arithmetic_attrs()
             .filter_map(|a| summary.arith_summary(a).map(|s| (a, s)))
@@ -161,11 +166,13 @@ impl SummaryCodec {
             w.u32(s.point_rows() as u32);
             for row in s.ranges() {
                 self.put_interval(&mut w, &row.interval);
-                self.put_idlist(&mut w, &row.ids)?;
+                summary.resolve_postings(&row.ids, &mut resolved);
+                self.put_idlist(&mut w, &resolved)?;
             }
             for (v, ids) in s.points() {
                 self.put_num(&mut w, v);
-                self.put_idlist(&mut w, ids)?;
+                summary.resolve_postings(ids, &mut resolved);
+                self.put_idlist(&mut w, &resolved)?;
             }
         }
 
@@ -180,7 +187,8 @@ impl SummaryCodec {
             w.u32(s.row_count() as u32);
             for (pattern, ids) in s.rows() {
                 w.str16(&pattern.to_string());
-                self.put_idlist(&mut w, ids)?;
+                summary.resolve_postings(ids, &mut resolved);
+                self.put_idlist(&mut w, &resolved)?;
             }
         }
         Ok(w.into_bytes())
@@ -215,6 +223,13 @@ impl SummaryCodec {
         };
         let mut summary = BrokerSummary::new(schema.clone());
 
+        // Two-phase decode: first collect every row with its full
+        // subscription ids, then hand the batch to the summary so it can
+        // rebuild its dense-id state once, linearly, over the union.
+        let mut arith_rows = Vec::new();
+        let mut point_rows = Vec::new();
+        let mut string_rows = Vec::new();
+
         let n_arith = r.u16()?;
         for _ in 0..n_arith {
             let attr = r.u16()?;
@@ -227,12 +242,12 @@ impl SummaryCodec {
             for _ in 0..n_ranges {
                 let iv = self.get_interval(&mut r, width)?;
                 let ids = self.get_idlist(&mut r)?;
-                summary.insert_arith_row(attr, iv, &ids);
+                arith_rows.push((attr, iv, ids));
             }
             for _ in 0..n_points {
                 let v = self.get_num(&mut r, width)?;
                 let ids = self.get_idlist(&mut r)?;
-                summary.insert_arith_point_row(attr, v, &ids);
+                point_rows.push((attr, v, ids));
             }
         }
 
@@ -248,9 +263,10 @@ impl SummaryCodec {
                 let text = r.str16()?.to_owned();
                 let pattern = Pattern::parse(&text)?;
                 let ids = self.get_idlist(&mut r)?;
-                summary.insert_string_row(attr, pattern, &ids);
+                string_rows.push((attr, pattern, ids));
             }
         }
+        summary.install_decoded_rows(&arith_rows, &point_rows, &string_rows);
         Ok(summary)
     }
 
@@ -331,10 +347,10 @@ impl SummaryCodec {
         Ok(())
     }
 
-    fn get_idlist(&self, r: &mut ByteReader<'_>) -> Result<IdList, WireError> {
+    fn get_idlist(&self, r: &mut ByteReader<'_>) -> Result<SubIdList, WireError> {
         let n = r.u32()? as usize;
         let id_len = self.layout.byte_len();
-        let mut out = IdList::with_capacity(n.min(4096));
+        let mut out = SubIdList::with_capacity(n.min(4096));
         for _ in 0..n {
             let raw = r.bytes(id_len)?;
             let (id, _) = self

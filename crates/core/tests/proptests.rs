@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, PatternSummary, SummaryCodec};
 use subsum_types::{
-    stock_schema, AttrMask, BrokerId, Event, IdLayout, LocalSubId, NumOp, Pattern, Schema, StrOp,
+    stock_schema, BrokerId, Event, IdLayout, LocalSubId, NumOp, Pattern, Schema, StrOp,
     Subscription, SubscriptionId, Value,
 };
 
@@ -309,8 +309,8 @@ proptest! {
         let mut sacs = PatternSummary::new();
         for (i, text) in patterns.iter().enumerate() {
             if let Ok(p) = Pattern::parse(text) {
-                let id = SubscriptionId::new(BrokerId(0), LocalSubId(i as u32), AttrMask::empty());
-                sacs.insert(p, id);
+                // Standalone SACS rows hold dense ids; any distinct u32s do.
+                sacs.insert(p, i as u32);
             }
         }
         check_sacs_invariants(&sacs);
@@ -346,6 +346,72 @@ proptest! {
             let indexed = summary.match_event_into(&event, &mut scratch).matched.clone();
             let scanned = summary.match_event_scan(&event).matched;
             prop_assert_eq!(indexed, scanned);
+        }
+    }
+
+    /// Differential check of the dense epoch-counter kernel on a summary
+    /// built by merging: the union intern table renumbers both sides'
+    /// dense postings, after which the kernel must still return exactly
+    /// what the plain-`SubscriptionId` scan reference returns, in the
+    /// same sorted order.
+    #[test]
+    fn merged_dense_kernel_is_identical_to_scan(
+        subs_a in proptest::collection::vec(subscription(), 1..5),
+        subs_b in proptest::collection::vec(subscription(), 1..5),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let mut a = BrokerSummary::new(schema.clone());
+        let mut b = BrokerSummary::new(schema.clone());
+        // Interleaved broker ids so the union table mixes both sides'
+        // dense spaces instead of concatenating them.
+        for (i, raw) in subs_a.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                a.insert(BrokerId((i % 3) as u16 * 2), LocalSubId(i as u32), &sub);
+            }
+        }
+        for (i, raw) in subs_b.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                b.insert(BrokerId((i % 3) as u16 * 2 + 1), LocalSubId(i as u32), &sub);
+            }
+        }
+        a.merge(&b);
+        check_invariants(&a);
+        let mut scratch = MatchScratch::new();
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let dense = a.match_event_into(&event, &mut scratch).matched.clone();
+            let scanned = a.match_event_scan(&event).matched;
+            prop_assert_eq!(dense, scanned);
+        }
+    }
+
+    /// Differential check of the dense kernel after a wire round-trip:
+    /// decode rebuilds the intern table from scratch, and the rebuilt
+    /// dense state must match both the scan reference and the original
+    /// summary event-for-event.
+    #[test]
+    fn decoded_dense_kernel_is_identical_to_scan(
+        subs in proptest::collection::vec(subscription(), 1..6),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let layout = IdLayout::new(24, 1024, schema.len() as u32).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let mut summary = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                summary.insert(BrokerId((i % 24) as u16), LocalSubId(i as u32), &sub);
+            }
+        }
+        let bytes = codec.encode(&summary).unwrap();
+        let decoded = codec.decode(&bytes, &schema).unwrap();
+        check_invariants(&decoded);
+        let mut scratch = MatchScratch::new();
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let dense = decoded.match_event_into(&event, &mut scratch).matched.clone();
+            let scanned = decoded.match_event_scan(&event).matched;
+            prop_assert_eq!(&dense, &scanned);
+            prop_assert_eq!(dense, summary.match_event(&event));
         }
     }
 

@@ -157,3 +157,81 @@ fn match_event_into_allocates_nothing_at_steady_state() {
          across {PASSES} passes)"
     );
 }
+
+/// The dense epoch-counter kernel at a large subscription population:
+/// once warm-up has grown the scratch counter arrays to the summary's
+/// dense-id space, matching must stay allocation-free even when hundreds
+/// of candidates are touched per event across several attributes.
+#[test]
+fn dense_kernel_allocates_nothing_with_large_population() {
+    let schema = stock_schema();
+    let mut summary = BrokerSummary::new(schema.clone());
+
+    // 600 subscriptions over three attributes: overlapping price bands
+    // (every event value lands in many rows), volume points, and a cycle
+    // of symbol prefixes, with every third subscription constraining two
+    // attributes so the counter threshold varies across dense ids.
+    for i in 0..600u32 {
+        let lo = (i % 50) as f64;
+        let mut b = Subscription::builder(&schema)
+            .num("price", NumOp::Ge, lo)
+            .unwrap()
+            .num("price", NumOp::Lt, lo + 25.0)
+            .unwrap();
+        if i % 3 == 0 {
+            let prefix = [b'A' + (i % 26) as u8];
+            b = b
+                .str_op("symbol", StrOp::Prefix, std::str::from_utf8(&prefix).unwrap())
+                .unwrap();
+        }
+        if i % 7 == 0 {
+            b = b.num("volume", NumOp::Eq, (i % 10) as f64 * 100.0).unwrap();
+        }
+        summary.insert(BrokerId(1), LocalSubId(i), &b.build().unwrap());
+    }
+
+    let events: Vec<Event> = (0..8)
+        .map(|k| {
+            let symbol = [b'A' + (k as u8 * 3) % 26];
+            Event::builder(&schema)
+                .num("price", 10.0 + k as f64 * 5.0)
+                .unwrap()
+                .num("volume", (k % 10) as f64 * 100.0)
+                .unwrap()
+                .str("symbol", String::from_utf8(symbol.to_vec()).unwrap())
+                .unwrap()
+                .build()
+        })
+        .collect();
+
+    let mut scratch = MatchScratch::new();
+    let warm: usize = events
+        .iter()
+        .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+        .sum();
+    assert!(warm > 0, "fixture must produce matches");
+
+    const PASSES: usize = 50;
+    let mut zero_delta = false;
+    let mut last_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut total = 0usize;
+        for _ in 0..PASSES {
+            for e in &events {
+                total += summary.match_event_into(e, &mut scratch).matched.len();
+            }
+        }
+        std::hint::black_box(total);
+        last_delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if last_delta == 0 {
+            zero_delta = true;
+            break;
+        }
+    }
+    assert!(
+        zero_delta,
+        "large-population dense kernel allocated ({last_delta} allocations \
+         across {PASSES} passes)"
+    );
+}

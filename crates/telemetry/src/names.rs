@@ -22,6 +22,12 @@ pub const CORE_SUMMARY_MERGE: &str = "core.summary.merge";
 pub const CORE_SUMMARY_MATCH: &str = "core.summary.match";
 /// Matches served by a warm, previously used `MatchScratch`.
 pub const MATCH_SCRATCH_REUSE: &str = "match.scratch_reuse";
+/// Dense posting-list entries consumed by the epoch-counter kernel.
+pub const MATCH_DENSE_HITS: &str = "match.dense_hits";
+/// Wholesale intern-table rebuilds (decode and merge paths).
+pub const MATCH_INTERN_REBUILDS: &str = "match.intern_rebuilds";
+/// Out-of-order inserts that renumbered existing dense postings.
+pub const MATCH_INTERN_RENUMBERS: &str = "match.intern_renumbers";
 /// SACS wildcard rows actually tested (index-selected plus literal hits).
 pub const SACS_INDEX_HITS: &str = "sacs.index_hits";
 /// SACS wildcard rows the anchor buckets skipped without testing.
@@ -67,6 +73,9 @@ mod tests {
             super::CORE_SUMMARY_MERGE,
             super::CORE_SUMMARY_MATCH,
             super::MATCH_SCRATCH_REUSE,
+            super::MATCH_DENSE_HITS,
+            super::MATCH_INTERN_REBUILDS,
+            super::MATCH_INTERN_RENUMBERS,
             super::SACS_INDEX_HITS,
             super::SACS_ROWS_PRUNED,
             super::BROKER_SUBSCRIBE,

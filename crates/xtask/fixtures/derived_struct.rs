@@ -1,6 +1,19 @@
-//! Fixture declaring a derived-state field for the derived-state lint.
+//! Fixture declaring derived-state fields for the derived-state lint.
 
 pub struct Summary {
     pub rows: Vec<u32>,
     anchor_index: Vec<usize>, // lint: derived
+}
+
+/// Intern-table shape: the table maps full ids to dense indices and
+/// carries per-id `required` counts; both are rebuilt from the rows on
+/// decode and must never appear in a wire codec.
+pub struct InternTable {
+    pub ids: Vec<u64>,
+    required: Vec<u32>, // lint: derived
+}
+
+pub struct DenseSummary {
+    pub rows: Vec<u32>,
+    intern: InternTable, // lint: derived
 }

@@ -1,8 +1,17 @@
-//! Fixture wire codec that references a derived field: one violation.
+//! Fixture wire codec that references derived fields: three violations.
 //! The mention of anchor_index in this comment must not fire.
 
 pub fn encode(s: &Summary, out: &mut Vec<u8>) {
     out.extend_from_slice(&(s.rows.len() as u32).to_be_bytes());
     // Serializing rebuilt state is the bug this lint exists to catch:
     out.extend_from_slice(&(s.anchor_index.len() as u32).to_be_bytes());
+}
+
+pub fn encode_dense(s: &DenseSummary, out: &mut Vec<u8>) {
+    // Same bug for the intern-table shape: the table and its required
+    // counts are decode-time artifacts, not wire payload.
+    out.extend_from_slice(&(s.intern.ids.len() as u32).to_be_bytes());
+    for count in &s.intern.required {
+        out.extend_from_slice(&count.to_be_bytes());
+    }
 }

@@ -17,3 +17,13 @@ mod tests {
         assert!(s.anchor_index.is_empty());
     }
 }
+
+pub fn encode_dense(summary: &DenseSummary, out: &mut Vec<u8>) {
+    // The clean codec resolves dense postings back to full ids through a
+    // summary method instead of reaching into the intern table.
+    let mut resolved = Vec::new();
+    for row in &summary.rows {
+        summary.resolve_postings(row, &mut resolved);
+        out.extend_from_slice(&(resolved.len() as u32).to_be_bytes());
+    }
+}

@@ -496,8 +496,12 @@ mod tests {
         cfg.scan_files = vec![PathBuf::from("derived_struct.rs")];
         cfg.wire_files = vec![PathBuf::from("derived_wire_bad.rs")];
         let v = run_check(&cfg).unwrap();
-        assert_eq!(rules(&v), vec!["derived-state"], "{v:#?}");
-        assert!(v[0].msg.contains("anchor_index"));
+        // One anchor_index reference, two intern-table references and one
+        // required-counts reference; the comment mentions must not fire.
+        assert_eq!(rules(&v), vec!["derived-state"; 4], "{v:#?}");
+        assert!(v.iter().any(|x| x.msg.contains("`anchor_index`")));
+        assert!(v.iter().any(|x| x.msg.contains("`intern`")));
+        assert!(v.iter().any(|x| x.msg.contains("`required`")));
     }
 
     #[test]
