@@ -324,7 +324,12 @@ fn emit_matching_report() {
     let mut dense_scratch = MatchScratch::new();
     let warm: usize = dense_events
         .iter()
-        .map(|e| dense_summary.match_event_into(e, &mut dense_scratch).matched.len())
+        .map(|e| {
+            dense_summary
+                .match_event_into(e, &mut dense_scratch)
+                .matched
+                .len()
+        })
         .sum();
     std::hint::black_box(warm);
 
@@ -332,7 +337,10 @@ fn emit_matching_report() {
         dense_summary.match_event_scan(e).matched.len()
     });
     let (dense_ker_lat, dense_ker_eps) = measure(&dense_events, passes, |e| {
-        dense_summary.match_event_into(e, &mut dense_scratch).matched.len()
+        dense_summary
+            .match_event_into(e, &mut dense_scratch)
+            .matched
+            .len()
     });
 
     // Instrumented pass for the intern-table counters: a wire round-trip
@@ -349,7 +357,10 @@ fn emit_matching_report() {
         .unwrap();
     let mut dense_matched = 0usize;
     for e in &dense_events {
-        dense_matched += decoded.match_event_into(e, &mut dense_scratch).matched.len();
+        dense_matched += decoded
+            .match_event_into(e, &mut dense_scratch)
+            .matched
+            .len();
     }
     subsum_telemetry::set_enabled(false);
     let dense_counters: std::collections::BTreeMap<String, u64> =
@@ -383,7 +394,10 @@ fn emit_matching_report() {
                 ("rows_pruned", Json::UInt(rows_pruned as u64)),
                 (names::SACS_INDEX_HITS, counter(names::SACS_INDEX_HITS)),
                 (names::SACS_ROWS_PRUNED, counter(names::SACS_ROWS_PRUNED)),
-                (names::MATCH_SCRATCH_REUSE, counter(names::MATCH_SCRATCH_REUSE)),
+                (
+                    names::MATCH_SCRATCH_REUSE,
+                    counter(names::MATCH_SCRATCH_REUSE),
+                ),
             ]),
         ),
         (
@@ -398,8 +412,14 @@ fn emit_matching_report() {
                         ("matches_per_pass", Json::UInt(dense_matched as u64)),
                     ]),
                 ),
-                ("before_full_scan", side_json(&dense_scan_lat, dense_scan_eps)),
-                ("after_dense_kernel", side_json(&dense_ker_lat, dense_ker_eps)),
+                (
+                    "before_full_scan",
+                    side_json(&dense_scan_lat, dense_scan_eps),
+                ),
+                (
+                    "after_dense_kernel",
+                    side_json(&dense_ker_lat, dense_ker_eps),
+                ),
                 (
                     "throughput_speedup",
                     Json::Num(dense_ker_eps / dense_scan_eps.max(1e-12)),
@@ -407,7 +427,10 @@ fn emit_matching_report() {
                 (
                     "instrumented_pass",
                     Json::obj([
-                        (names::MATCH_DENSE_HITS, dense_counter(names::MATCH_DENSE_HITS)),
+                        (
+                            names::MATCH_DENSE_HITS,
+                            dense_counter(names::MATCH_DENSE_HITS),
+                        ),
                         (
                             names::MATCH_INTERN_REBUILDS,
                             dense_counter(names::MATCH_INTERN_REBUILDS),

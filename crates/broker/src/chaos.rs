@@ -1,0 +1,505 @@
+//! Deterministic chaos testing: fault injection, crash/recovery, and
+//! digest-driven anti-entropy for neighbor summaries.
+//!
+//! The paper's propagation protocol (§3.2–§3.3) assumes reliable links
+//! and always-up brokers. This module drives the same summary exchange
+//! over a [`LossyNet`] governed by a seeded [`FaultPlan`] — message
+//! drops, duplicates, extra delays, link cuts, partitions, and broker
+//! crashes — and layers two recovery mechanisms on top:
+//!
+//! * **Crash/recovery** — a crashed broker loses all in-memory state
+//!   (summary, neighbor views, even its exact store). On restart it
+//!   reloads its durable [`BrokerCheckpoint`] (or comes up empty),
+//!   announces its rebuilt summary, and pulls its neighbors' summaries
+//!   to re-learn its views.
+//! * **Anti-entropy** — every `repair_interval` ticks each broker
+//!   advertises a 24-byte [`SummaryDigest`] of its own summary to every
+//!   neighbor. A receiver whose stored view digest disagrees answers
+//!   with a pull, triggering one full summary re-send. Healthy links
+//!   cost digest bytes only; repair traffic is proportional to actual
+//!   divergence. The naive baseline ([`ChaosConfig::naive_repair`])
+//!   re-sends the full summary every round instead.
+//!
+//! Updates are **view replacements**, so duplicated messages are
+//! naturally idempotent, and every run is a pure function of
+//! `(topology, subscriptions, plan, config)`: two runs with one seed
+//! produce identical [`ChaosStats`], byte for byte.
+//!
+//! # Example
+//!
+//! ```
+//! use subsum_broker::{ChaosConfig, ChaosRun};
+//! use subsum_net::{FaultPlan, Topology};
+//! use subsum_types::{stock_schema, NumOp, Subscription};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = stock_schema();
+//! let mut run = ChaosRun::new(
+//!     Topology::fig7_tree(),
+//!     schema.clone(),
+//!     FaultPlan::reliable(7),
+//!     ChaosConfig::default(),
+//! )?;
+//! let sub = Subscription::builder(&schema)
+//!     .num("price", NumOp::Lt, 10.0)?
+//!     .build()?;
+//! run.subscribe(3, &sub);
+//! run.checkpoint_all();
+//! let report = run.run()?;
+//! assert!(report.converged);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec, SummaryDigest};
+use subsum_net::{FaultPlan, LossyNet, NodeId, Topology};
+use subsum_telemetry::Count;
+use subsum_types::{
+    BrokerId, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError,
+};
+
+use crate::snapshot::BrokerCheckpoint;
+
+static CNT_DROPS: Count = Count::new(subsum_telemetry::names::CHAOS_DROPS);
+static CNT_DUPS: Count = Count::new(subsum_telemetry::names::CHAOS_DUPS);
+static CNT_CRASHES: Count = Count::new(subsum_telemetry::names::CHAOS_CRASHES);
+static CNT_RESYNCS: Count = Count::new(subsum_telemetry::names::CHAOS_RESYNCS);
+static CNT_DIGEST_BYTES: Count = Count::new(subsum_telemetry::names::CHAOS_DIGEST_BYTES);
+static CNT_FULL_BYTES: Count = Count::new(subsum_telemetry::names::CHAOS_FULL_BYTES);
+
+/// Wire cost charged for a pull request (opcode + sender id).
+const PULL_BYTES: u64 = 4;
+
+/// Tuning knobs of a chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Base transit delay of every broker→broker message, in ticks.
+    pub link_delay: u64,
+    /// Ticks between anti-entropy rounds.
+    pub repair_interval: u64,
+    /// Number of anti-entropy rounds to schedule.
+    pub repair_rounds: u32,
+    /// Replace digest exchange by full summary re-sends every round
+    /// (the naive baseline the experiments compare against).
+    pub naive_repair: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            link_delay: 1,
+            repair_interval: 50,
+            repair_rounds: 20,
+            naive_repair: false,
+        }
+    }
+}
+
+/// Every decision counter of a chaos run. Two runs with identical
+/// inputs (same seed) produce identical stats — the determinism tests
+/// compare whole structs for equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Broker messages offered to the lossy network.
+    pub offered: u64,
+    /// Broker message copies actually delivered.
+    pub delivered: u64,
+    /// Messages dropped by per-link loss.
+    pub dropped: u64,
+    /// Messages lost to link cuts / partitions.
+    pub link_dropped: u64,
+    /// Copies lost because the receiver was crashed.
+    pub crash_dropped: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Broker crash events executed.
+    pub crashes: u64,
+    /// Broker restart events executed.
+    pub restarts: u64,
+    /// Digest mismatches that triggered a pull (anti-entropy resyncs).
+    pub resyncs: u64,
+    /// Digest advertisements sent.
+    pub digest_msgs: u64,
+    /// Bytes spent on digest advertisements.
+    pub digest_bytes: u64,
+    /// Full summary updates sent (initial wave, pulls, restarts, naive
+    /// rounds).
+    pub full_updates: u64,
+    /// Bytes spent on full summary updates (real wire-codec sizes).
+    pub full_summary_bytes: u64,
+    /// Pull requests sent.
+    pub pulls: u64,
+    /// Bytes spent on pull requests.
+    pub pull_bytes: u64,
+}
+
+impl ChaosStats {
+    /// Total bytes put on the wire (updates + digests + pulls).
+    pub fn total_bytes(&self) -> u64 {
+        self.full_summary_bytes + self.digest_bytes + self.pull_bytes
+    }
+}
+
+/// The outcome of a drained chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Whether every broker ended alive with its own summary equal to
+    /// the fault-free oracle and every neighbor view digest-equal to
+    /// that neighbor's own summary.
+    pub converged: bool,
+    /// First tick at which the system was observed converged (after all
+    /// scheduled faults ended), if any.
+    pub converged_at: Option<u64>,
+    /// Tick at which the event queue drained.
+    pub drained_at: u64,
+    /// The run's decision counters.
+    pub stats: ChaosStats,
+}
+
+/// One simulated broker of a chaos run: its exact store, its own
+/// summary, and its (possibly stale) views of each neighbor's summary.
+#[derive(Debug)]
+struct ChaosBroker {
+    alive: bool,
+    next_local: u32,
+    /// Exact store in ascending-id order (insertion order == id order,
+    /// the canonical discipline that makes digests comparable).
+    exact: Vec<(SubscriptionId, Subscription)>,
+    own: BrokerSummary,
+    /// Last received summary of each neighbor.
+    views: BTreeMap<NodeId, BrokerSummary>,
+    /// Durable checkpoint bytes, surviving crashes. `None` models a
+    /// broker that never checkpointed and restarts empty.
+    checkpoint: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone)]
+enum ChaosMsg {
+    /// Full summary of the sender (view replacement — idempotent).
+    Update(BrokerSummary),
+    /// Digest advertisement of the sender's own summary.
+    Digest(SummaryDigest),
+    /// Request for a full summary re-send.
+    Pull,
+    /// Control: the broker crashes, losing in-memory state.
+    Crash,
+    /// Control: the broker restarts from its checkpoint.
+    Restart,
+    /// Control: start one anti-entropy round at this broker.
+    RepairTick,
+}
+
+/// A deterministic chaos scenario: a broker overlay exchanging summary
+/// state over a faulty network, with checkpoint recovery and
+/// anti-entropy repair. See the [module docs](self).
+#[derive(Debug)]
+pub struct ChaosRun {
+    topology: Topology,
+    schema: Schema,
+    plan: FaultPlan,
+    config: ChaosConfig,
+    codec: SummaryCodec,
+    brokers: Vec<ChaosBroker>,
+}
+
+impl ChaosRun {
+    /// Creates a run over `topology` with no subscriptions yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the schema exceeds the id layout.
+    pub fn new(
+        topology: Topology,
+        schema: Schema,
+        plan: FaultPlan,
+        config: ChaosConfig,
+    ) -> Result<Self, TypeError> {
+        let layout = IdLayout::new(topology.len() as u64, 1 << 20, schema.len() as u32)?;
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let brokers = (0..topology.len())
+            .map(|_| ChaosBroker {
+                alive: true,
+                next_local: 0,
+                exact: Vec::new(),
+                own: BrokerSummary::new(schema.clone()),
+                views: BTreeMap::new(),
+                checkpoint: None,
+            })
+            .collect();
+        Ok(ChaosRun {
+            topology,
+            schema,
+            plan,
+            config,
+            codec,
+            brokers,
+        })
+    }
+
+    /// Registers `sub` at broker `b`, returning its id. Ids ascend with
+    /// subscribe order, so summaries are always built in the canonical
+    /// ascending-id insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn subscribe(&mut self, b: NodeId, sub: &Subscription) -> SubscriptionId {
+        let broker = &mut self.brokers[b as usize];
+        let id = SubscriptionId::new(BrokerId(b), LocalSubId(broker.next_local), sub.attr_mask());
+        broker.next_local += 1;
+        broker.exact.push((id, sub.clone()));
+        broker.own.insert_with_id(id, sub);
+        id
+    }
+
+    /// Writes broker `b`'s durable checkpoint (survives crashes).
+    pub fn checkpoint(&mut self, b: NodeId) {
+        let broker = &mut self.brokers[b as usize];
+        let cp = BrokerCheckpoint {
+            next_local: broker.next_local,
+            subs: broker.exact.clone(),
+        };
+        broker.checkpoint = Some(cp.to_bytes());
+    }
+
+    /// Checkpoints every broker.
+    pub fn checkpoint_all(&mut self) {
+        for b in 0..self.brokers.len() as NodeId {
+            self.checkpoint(b);
+        }
+    }
+
+    /// The fault-free oracle: each broker's summary rebuilt from its
+    /// durable subscription set in ascending-id order.
+    pub fn oracle(&self) -> Vec<BrokerSummary> {
+        self.brokers
+            .iter()
+            .map(|br| {
+                BrokerSummary::rebuild(self.schema.clone(), br.exact.iter().map(|(id, s)| (*id, s)))
+            })
+            .collect()
+    }
+
+    /// Whether the system is converged: every broker alive, every own
+    /// summary digest-equal to the oracle, and both directions of every
+    /// edge agreeing (the view of a neighbor equals that neighbor's own
+    /// summary).
+    pub fn converged(&self) -> bool {
+        if !self.brokers.iter().all(|b| b.alive) {
+            return false;
+        }
+        let empty = BrokerSummary::new(self.schema.clone()).digest();
+        let own: Vec<SummaryDigest> = self.brokers.iter().map(|b| b.own.digest()).collect();
+        let oracle = self.oracle();
+        for (b, broker) in self.brokers.iter().enumerate() {
+            if own[b] != oracle[b].digest() {
+                return false;
+            }
+            for &nb in self.topology.neighbors(b as NodeId) {
+                let view = broker
+                    .views
+                    .get(&nb)
+                    .map(BrokerSummary::digest)
+                    .unwrap_or(empty);
+                if view != own[nb as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Executes the scenario to quiescence: initial summary wave, the
+    /// fault plan's crashes/cuts/drops, `repair_rounds` anti-entropy
+    /// rounds, until the event queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if a summary exceeds the wire layout
+    /// (cannot happen for schema-consistent runs).
+    pub fn run(&mut self) -> Result<ChaosReport, TypeError> {
+        let mut net: LossyNet<ChaosMsg> = LossyNet::new(self.plan.clone());
+        let mut stats = ChaosStats::default();
+        let n = self.brokers.len() as NodeId;
+
+        // Schedule the plan's crash/restart control events and the
+        // anti-entropy rounds up front; everything else is reactive.
+        for crash in &self.plan.crashes.clone() {
+            net.schedule(crash.broker, crash.at, ChaosMsg::Crash);
+            if crash.restart_at != u64::MAX {
+                net.schedule(crash.broker, crash.restart_at, ChaosMsg::Restart);
+            }
+        }
+        for round in 1..=self.config.repair_rounds as u64 {
+            for b in 0..n {
+                net.schedule(b, round * self.config.repair_interval, ChaosMsg::RepairTick);
+            }
+        }
+
+        // Initial propagation wave: everyone announces its summary.
+        for b in 0..n {
+            self.send_update_to_neighbors(&mut net, &mut stats, b)?;
+        }
+
+        let quiet_after = self.plan_quiet_after();
+        let empty_digest = BrokerSummary::new(self.schema.clone()).digest();
+        let mut converged_at = None;
+        while let Some((time, env)) = net.pop() {
+            let me = env.to;
+            match env.payload {
+                ChaosMsg::Update(summary) => {
+                    if self.brokers[me as usize].alive {
+                        // View replacement: duplicates are no-ops.
+                        self.brokers[me as usize].views.insert(env.from, summary);
+                    }
+                }
+                ChaosMsg::Digest(digest) => {
+                    if self.brokers[me as usize].alive {
+                        let view = self.brokers[me as usize]
+                            .views
+                            .get(&env.from)
+                            .map(BrokerSummary::digest)
+                            .unwrap_or(empty_digest);
+                        if view != digest {
+                            stats.resyncs += 1;
+                            stats.pulls += 1;
+                            stats.pull_bytes += PULL_BYTES;
+                            net.send(me, env.from, self.config.link_delay, ChaosMsg::Pull);
+                        }
+                    }
+                }
+                ChaosMsg::Pull => {
+                    if self.brokers[me as usize].alive {
+                        self.send_update(&mut net, &mut stats, me, env.from)?;
+                    }
+                }
+                ChaosMsg::Crash => {
+                    let broker = &mut self.brokers[me as usize];
+                    broker.alive = false;
+                    broker.exact.clear();
+                    broker.next_local = 0;
+                    broker.own = BrokerSummary::new(self.schema.clone());
+                    broker.views.clear();
+                    stats.crashes += 1;
+                }
+                ChaosMsg::Restart => {
+                    self.restart(me);
+                    stats.restarts += 1;
+                    // Announce the recovered summary and re-learn every
+                    // neighbor's.
+                    self.send_update_to_neighbors(&mut net, &mut stats, me)?;
+                    for &nb in self.topology.neighbors(me).to_vec().iter() {
+                        stats.pulls += 1;
+                        stats.pull_bytes += PULL_BYTES;
+                        net.send(me, nb, self.config.link_delay, ChaosMsg::Pull);
+                    }
+                }
+                ChaosMsg::RepairTick => {
+                    if self.brokers[me as usize].alive {
+                        if self.config.naive_repair {
+                            self.send_update_to_neighbors(&mut net, &mut stats, me)?;
+                        } else {
+                            let digest = self.brokers[me as usize].own.digest();
+                            for &nb in self.topology.neighbors(me).to_vec().iter() {
+                                stats.digest_msgs += 1;
+                                stats.digest_bytes += SummaryDigest::WIRE_BYTES as u64;
+                                net.send(me, nb, self.config.link_delay, ChaosMsg::Digest(digest));
+                            }
+                        }
+                    }
+                }
+            }
+            if converged_at.is_none() && time >= quiet_after && self.converged() {
+                converged_at = Some(time);
+            }
+        }
+
+        let fault = *net.stats();
+        stats.offered = fault.offered;
+        stats.delivered = fault.delivered;
+        stats.dropped = fault.dropped;
+        stats.link_dropped = fault.link_dropped;
+        stats.crash_dropped = fault.crash_dropped;
+        stats.duplicated = fault.duplicated;
+
+        CNT_DROPS.add(stats.dropped + stats.link_dropped + stats.crash_dropped);
+        CNT_DUPS.add(stats.duplicated);
+        CNT_CRASHES.add(stats.crashes);
+        CNT_RESYNCS.add(stats.resyncs);
+        CNT_DIGEST_BYTES.add(stats.digest_bytes);
+        CNT_FULL_BYTES.add(stats.full_summary_bytes);
+
+        Ok(ChaosReport {
+            converged: self.converged(),
+            converged_at,
+            drained_at: net.now(),
+            stats,
+        })
+    }
+
+    /// First tick after which no scheduled fault (crash window, cut,
+    /// partition) is active anymore.
+    fn plan_quiet_after(&self) -> u64 {
+        let crash_end = self.plan.crashes.iter().map(|c| c.restart_at).max();
+        let cut_end = self.plan.cuts.iter().map(|c| c.until).max();
+        let part_end = self.plan.partitions.iter().map(|p| p.until).max();
+        [crash_end, cut_end, part_end]
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn restart(&mut self, b: NodeId) {
+        let broker = &mut self.brokers[b as usize];
+        broker.alive = true;
+        broker.views.clear();
+        match broker
+            .checkpoint
+            .as_deref()
+            .and_then(|bytes| BrokerCheckpoint::from_bytes(bytes).ok())
+        {
+            Some(cp) => {
+                broker.own = BrokerSummary::rebuild(
+                    self.schema.clone(),
+                    cp.subs.iter().map(|(id, s)| (*id, s)),
+                );
+                broker.next_local = cp.next_local;
+                broker.exact = cp.subs;
+            }
+            None => {
+                broker.own = BrokerSummary::new(self.schema.clone());
+                broker.next_local = 0;
+                broker.exact = Vec::new();
+            }
+        }
+    }
+
+    fn send_update(
+        &mut self,
+        net: &mut LossyNet<ChaosMsg>,
+        stats: &mut ChaosStats,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), TypeError> {
+        let summary = self.brokers[from as usize].own.clone();
+        stats.full_updates += 1;
+        stats.full_summary_bytes += self.codec.encoded_len(&summary)? as u64;
+        net.send(from, to, self.config.link_delay, ChaosMsg::Update(summary));
+        Ok(())
+    }
+
+    fn send_update_to_neighbors(
+        &mut self,
+        net: &mut LossyNet<ChaosMsg>,
+        stats: &mut ChaosStats,
+        from: NodeId,
+    ) -> Result<(), TypeError> {
+        for &nb in self.topology.neighbors(from).to_vec().iter() {
+            self.send_update(net, stats, from, nb)?;
+        }
+        Ok(())
+    }
+}

@@ -13,7 +13,10 @@
 //!   subscription stores, periodic propagation, two-tier matching
 //!   (summary candidates verified at the home broker);
 //! * [`runtime`] — a concurrent deployment of the same logic with one OS
-//!   thread per broker communicating over channels.
+//!   thread per broker communicating over channels;
+//! * [`chaos`] — deterministic fault injection (drops, duplicates, link
+//!   cuts, partitions, broker crashes) with checkpoint-based recovery and
+//!   digest-driven anti-entropy repair of neighbor summaries.
 //!
 //! # Example
 //!
@@ -40,13 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod chaos;
 pub mod propagation;
 pub mod routing;
 pub mod runtime;
 mod snapshot;
 mod system;
 
+pub use chaos::{ChaosConfig, ChaosReport, ChaosRun, ChaosStats};
 pub use propagation::{propagate, MergedSummary, PropagationOutcome, PropagationSend};
 pub use routing::{route_event, Notification, RoutingOptions, RoutingOutcome};
-pub use snapshot::SnapshotError;
+pub use snapshot::{BrokerCheckpoint, SnapshotError};
 pub use system::{Delivery, PublishOutcome, SummaryPubSub};

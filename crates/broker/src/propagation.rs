@@ -36,6 +36,31 @@ pub struct MergedSummary {
     pub merged_brokers: BTreeSet<NodeId>,
 }
 
+impl MergedSummary {
+    /// Applies a received propagation payload: merges the summary and
+    /// extends `Merged_Brokers`. Returns `true` if the payload carried
+    /// anything new.
+    ///
+    /// Application is **idempotent**: a payload whose `Merged_Brokers`
+    /// set is already covered by this broker's set has been applied
+    /// before (the set names exactly the summaries folded in) and is
+    /// skipped outright, so a duplicated message on a lossy network is a
+    /// no-op — the stored summary's digest does not change.
+    pub fn apply(&mut self, payload: &MergedSummary) -> bool {
+        if payload
+            .merged_brokers
+            .iter()
+            .all(|b| self.merged_brokers.contains(b))
+        {
+            return false;
+        }
+        self.summary.merge(&payload.summary);
+        self.merged_brokers
+            .extend(payload.merged_brokers.iter().copied());
+        true
+    }
+}
+
 /// One send of Algorithm 2, for tracing and the Fig. 7 walkthrough test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PropagationSend {
@@ -166,10 +191,7 @@ pub fn propagate(
         }
         for (target, payload, _) in deliveries {
             let t = target as usize;
-            stored[t].summary.merge(&payload.summary);
-            stored[t]
-                .merged_brokers
-                .extend(payload.merged_brokers.iter().copied());
+            stored[t].apply(&payload);
             // Receiving also counts as having communicated with the
             // sender (no back-send of the same content).
             for s in payload.merged_brokers {
@@ -341,6 +363,45 @@ mod tests {
         let later = out.sends.iter().max_by_key(|s| s.iteration).unwrap();
         assert!(later.bytes >= first.bytes);
         assert!(out.metrics.payload_bytes > 0);
+    }
+
+    #[test]
+    fn duplicate_application_is_a_no_op() {
+        // Under message duplication (see the `chaos` module) the same
+        // propagation payload can be delivered twice; the second apply
+        // must leave the stored state bit-identical.
+        let schema = stock_schema();
+        let own = own_summaries(&schema, 4);
+        let mut stored = MergedSummary {
+            summary: own[0].clone(),
+            merged_brokers: BTreeSet::from([0]),
+        };
+        let payload = MergedSummary {
+            summary: {
+                let mut s = own[1].clone();
+                s.merge(&own[2]);
+                s
+            },
+            merged_brokers: BTreeSet::from([1, 2]),
+        };
+
+        assert!(stored.apply(&payload), "first apply carries new content");
+        let digest = stored.summary.digest();
+        let brokers = stored.merged_brokers.clone();
+
+        assert!(!stored.apply(&payload), "duplicate must report no change");
+        assert_eq!(stored.summary.digest(), digest, "summary unchanged");
+        assert_eq!(stored.merged_brokers, brokers, "broker set unchanged");
+        #[cfg(debug_assertions)]
+        stored.summary.validate();
+
+        // A partially-overlapping payload is *not* a duplicate.
+        let fresh = MergedSummary {
+            summary: own[3].clone(),
+            merged_brokers: BTreeSet::from([2, 3]),
+        };
+        assert!(stored.apply(&fresh));
+        assert_eq!(stored.merged_brokers, BTreeSet::from([0, 1, 2, 3]));
     }
 
     #[test]

@@ -23,6 +23,9 @@ use crate::system::SummaryPubSub;
 const MAGIC: u32 = 0x5355_4253; // "SUBS"
 const VERSION: u8 = 1;
 
+const CHECKPOINT_MAGIC: u32 = 0x5342_4B50; // "SBKP"
+const CHECKPOINT_VERSION: u8 = 1;
+
 /// Errors from [`SummaryPubSub::from_snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -82,8 +85,86 @@ fn get_id(r: &mut ByteReader<'_>) -> Result<SubscriptionId, DecodeError> {
     ))
 }
 
+/// The durable state of a *single* broker: its local-id counter and its
+/// exact subscription store, id-sorted. This is what a broker writes to
+/// stable storage between crashes; everything else (summaries, neighbor
+/// views, intern tables) is derived and re-learned after restart.
+///
+/// Unlike the whole-system snapshot, a checkpoint carries no schema or
+/// topology — the restarting broker re-reads those from its static
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BrokerCheckpoint {
+    /// The next unassigned local subscription id.
+    pub next_local: u32,
+    /// The exact store, sorted by subscription id (so a summary rebuilt
+    /// from a checkpoint uses the canonical ascending-id insertion order
+    /// and is digest-comparable to the pre-crash summary).
+    pub subs: Vec<(SubscriptionId, Subscription)>,
+}
+
+impl BrokerCheckpoint {
+    /// Captures broker `b`'s durable state out of a running system.
+    pub fn capture(sys: &SummaryPubSub, b: NodeId) -> Self {
+        let mut subs: Vec<(SubscriptionId, Subscription)> = sys
+            .exact_store(b)
+            .iter()
+            .map(|(id, sub)| (*id, sub.clone()))
+            .collect();
+        subs.sort_by_key(|(id, _)| *id);
+        BrokerCheckpoint {
+            next_local: sys.next_local_at(b),
+            subs,
+        }
+    }
+
+    /// Serializes the checkpoint with the deterministic byte codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(CHECKPOINT_MAGIC);
+        w.u8(CHECKPOINT_VERSION);
+        w.u32(self.next_local);
+        w.u32(self.subs.len() as u32);
+        for (id, sub) in &self.subs {
+            put_id(&mut w, *id);
+            sub.encode(&mut w);
+        }
+        w.into_bytes().to_vec()
+    }
+
+    /// Parses a checkpoint produced by [`BrokerCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on a malformed or truncated stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        if r.u32()? != CHECKPOINT_MAGIC {
+            return Err(SnapshotError::Format("bad checkpoint magic"));
+        }
+        if r.u8()? != CHECKPOINT_VERSION {
+            return Err(SnapshotError::Format("unsupported checkpoint version"));
+        }
+        let next_local = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut subs = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = get_id(&mut r)?;
+            let sub = Subscription::decode(&mut r)?;
+            subs.push((id, sub));
+        }
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Format("trailing checkpoint bytes"));
+        }
+        if !subs.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(SnapshotError::Format("checkpoint subs not id-sorted"));
+        }
+        Ok(BrokerCheckpoint { next_local, subs })
+    }
+}
+
 impl SummaryPubSub {
-    /// Serializes the durable system state (schema, overlay, exact
+    /// Serializes the durable state (schema, overlay, exact
     /// stores, shadow maps). See the [module docs](self) for what is and
     /// is not captured.
     pub fn to_snapshot(&self) -> Vec<u8> {
@@ -311,6 +392,27 @@ mod tests {
             !ids.contains(&new_id),
             "restored counters must not reuse ids"
         );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_rejection() {
+        let (sys, _) = populated_system(false);
+        for b in 0..13u16 {
+            let cp = BrokerCheckpoint::capture(&sys, b);
+            assert!(cp.subs.windows(2).all(|w| w[0].0 < w[1].0), "id-sorted");
+            let bytes = cp.to_bytes();
+            assert_eq!(BrokerCheckpoint::from_bytes(&bytes).unwrap(), cp);
+            // Truncations never panic, always reject.
+            for cut in (0..bytes.len()).step_by(11) {
+                assert!(BrokerCheckpoint::from_bytes(&bytes[..cut]).is_err());
+            }
+        }
+        assert!(matches!(
+            BrokerCheckpoint::from_bytes(&[0, 0, 0, 0, 1]),
+            Err(SnapshotError::Format("bad checkpoint magic"))
+        ));
+        // A whole-system snapshot is not a checkpoint.
+        assert!(BrokerCheckpoint::from_bytes(&sys.to_snapshot()).is_err());
     }
 
     #[test]

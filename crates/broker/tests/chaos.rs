@@ -1,0 +1,171 @@
+//! Seeded chaos scenarios: convergence under faults, determinism of the
+//! counters, and the anti-entropy vs naive repair-traffic comparison.
+//! The CI chaos smoke job runs exactly this test binary.
+
+use subsum_broker::{ChaosConfig, ChaosReport, ChaosRun};
+use subsum_net::{CrashEvent, FaultPlan, LinkProfile, Topology};
+use subsum_types::{stock_schema, NumOp, Schema, StrOp, Subscription};
+
+/// The fixed scenario of the acceptance criteria: per-link drops and
+/// duplication, plus one broker crash mid-run, on the Fig. 7 tree.
+fn stormy_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::reliable(seed);
+    plan.default_link = LinkProfile {
+        drop: 0.15,
+        duplicate: 0.10,
+        max_extra_delay: 3,
+    };
+    plan.crashes.push(CrashEvent {
+        broker: 4, // the paper's broker 5, the tree's hub
+        at: 120,
+        restart_at: 180,
+    });
+    plan
+}
+
+fn populated_run(plan: FaultPlan, config: ChaosConfig) -> ChaosRun {
+    let schema = stock_schema();
+    let mut run = ChaosRun::new(Topology::fig7_tree(), schema.clone(), plan, config).unwrap();
+    for b in 0..13u16 {
+        for k in 0..4u32 {
+            let sub = mixed_sub(&schema, b, k);
+            run.subscribe(b, &sub);
+        }
+    }
+    run.checkpoint_all();
+    run
+}
+
+fn mixed_sub(schema: &Schema, b: u16, k: u32) -> Subscription {
+    if (b as u32 + k) % 2 == 0 {
+        Subscription::builder(schema)
+            .num("price", NumOp::Lt, (b as f64) + (k as f64) / 4.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    } else {
+        Subscription::builder(schema)
+            .str_op("symbol", StrOp::Prefix, &format!("S{}", (b + k as u16) % 5))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+}
+
+fn run_once(seed: u64, naive: bool) -> ChaosReport {
+    let config = ChaosConfig {
+        naive_repair: naive,
+        ..ChaosConfig::default()
+    };
+    populated_run(stormy_plan(seed), config).run().unwrap()
+}
+
+#[test]
+fn fixed_seed_chaos_run_converges() {
+    let report = run_once(0x5EED, false);
+    assert!(
+        report.converged,
+        "run must converge to the fault-free oracle: {report:?}"
+    );
+    assert!(report.converged_at.is_some());
+    // The plan actually exercised its faults.
+    assert!(report.stats.dropped > 0, "drops must occur: {report:?}");
+    assert!(report.stats.duplicated > 0, "dups must occur: {report:?}");
+    assert_eq!(report.stats.crashes, 1);
+    assert_eq!(report.stats.restarts, 1);
+    assert!(
+        report.stats.resyncs > 0,
+        "anti-entropy must repair something: {report:?}"
+    );
+}
+
+#[test]
+fn same_seed_yields_byte_identical_counters() {
+    let a = run_once(0xD15EA5E, false);
+    let b = run_once(0xD15EA5E, false);
+    assert_eq!(a, b, "two runs with one seed must be identical");
+
+    // A different seed perturbs the fault decisions (sanity check that
+    // equality above is not vacuous).
+    let c = run_once(0xD15EA5E + 1, false);
+    assert_ne!(a.stats, c.stats);
+}
+
+#[test]
+fn anti_entropy_repair_traffic_beats_naive_full_resend() {
+    let smart = run_once(0xBEEF, false);
+    let naive = run_once(0xBEEF, true);
+    assert!(smart.converged && naive.converged);
+    assert!(
+        smart.stats.total_bytes() < naive.stats.total_bytes() / 2,
+        "anti-entropy bytes {} must be well below naive bytes {}",
+        smart.stats.total_bytes(),
+        naive.stats.total_bytes()
+    );
+    assert!(smart.stats.digest_bytes > 0);
+    assert_eq!(naive.stats.digest_bytes, 0);
+}
+
+#[test]
+fn uncheckpointed_broker_restarts_empty_and_system_still_converges() {
+    let schema = stock_schema();
+    let mut plan = FaultPlan::reliable(77);
+    plan.crashes.push(CrashEvent {
+        broker: 2,
+        at: 60,
+        restart_at: 110,
+    });
+    let mut run = ChaosRun::new(
+        Topology::fig7_tree(),
+        schema.clone(),
+        plan,
+        ChaosConfig::default(),
+    )
+    .unwrap();
+    for b in 0..13u16 {
+        run.subscribe(b, &mixed_sub(&schema, b, 0));
+    }
+    // Checkpoint everyone except the crasher: its subscriptions are
+    // genuinely lost, and the oracle (built from final durable state)
+    // reflects that.
+    for b in 0..13u16 {
+        if b != 2 {
+            run.checkpoint(b);
+        }
+    }
+    let report = run.run().unwrap();
+    assert!(report.converged, "{report:?}");
+    assert_eq!(report.stats.crashes, 1);
+}
+
+#[test]
+fn partition_heals_and_converges() {
+    let schema = stock_schema();
+    let mut plan = FaultPlan::reliable(31);
+    plan.partitions.push(subsum_net::PartitionWindow {
+        island: vec![0, 1, 2, 3, 4, 5],
+        from: 0,
+        until: 150,
+    });
+    let mut run = ChaosRun::new(
+        Topology::fig7_tree(),
+        schema.clone(),
+        plan,
+        ChaosConfig::default(),
+    )
+    .unwrap();
+    for b in 0..13u16 {
+        run.subscribe(b, &mixed_sub(&schema, b, 1));
+    }
+    run.checkpoint_all();
+    let report = run.run().unwrap();
+    assert!(report.converged, "{report:?}");
+    assert!(
+        report.stats.link_dropped > 0,
+        "partition must sever messages: {report:?}"
+    );
+    assert!(
+        report.converged_at.unwrap_or(0) >= 150,
+        "cannot converge before the partition heals: {report:?}"
+    );
+}

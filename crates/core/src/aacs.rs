@@ -28,8 +28,8 @@ use serde::{Deserialize, Serialize};
 
 use subsum_types::{Interval, IntervalSet, Num};
 
-pub use crate::idlist::{DenseId, IdList};
 use crate::idlist::{idlist_insert, idlist_merge, idlist_remap, idlist_remove_remap};
+pub use crate::idlist::{DenseId, IdList};
 use crate::sacs::QueryCost;
 
 /// One sub-range row of AACS_SR.
@@ -362,7 +362,11 @@ impl RangeSummary {
                 "degenerate AACS_SR row {} belongs in AACS_E",
                 row.interval
             );
-            assert!(!row.ids.is_empty(), "AACS_SR row {} has no ids", row.interval);
+            assert!(
+                !row.ids.is_empty(),
+                "AACS_SR row {} has no ids",
+                row.interval
+            );
             validate_idlist(&row.ids);
         }
         for (v, ids) in &self.points {

@@ -1,0 +1,326 @@
+//! Compact summary digests for anti-entropy comparison.
+//!
+//! Two brokers that should agree on a summary (a broker's own summary
+//! and a neighbor's view of it) compare a 24-byte [`SummaryDigest`]
+//! instead of shipping the full summary: a subscription count, an
+//! order-independent hash of the subscription-id set, and a structural
+//! checksum over every AACS/SACS row. Matching digests mean the views
+//! agree; a mismatch triggers a full summary re-send.
+//!
+//! The structural checksum folds per-row hashes with a commutative
+//! wrapping add *within* each attribute, so it is independent of row
+//! iteration order — but it is **not** independent of how rows were
+//! formed: SACS covering/absorption can split the same id multiset into
+//! different rows under exotic insertion orders. Digest-compared
+//! summaries must therefore be built by the same insertion discipline;
+//! the chaos/recovery layer inserts everywhere in ascending
+//! subscription-id order (which equals subscribe order, checkpoint
+//! restore order, and oracle rebuild order), making the checksum a
+//! sound equality witness there.
+
+use subsum_types::{LowerBound, Num, Pattern, SubscriptionId, UpperBound};
+
+use crate::idlist::IdList;
+use crate::summary::BrokerSummary;
+
+/// The 64-bit splitmix finalizer (kept local: `subsum-core` must not
+/// depend on the net crate that also defines it).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn hash_id(id: SubscriptionId) -> u64 {
+    let packed = ((id.broker.0 as u64) << 32) | id.local.0 as u64;
+    mix64(mix64(packed) ^ id.mask.0)
+}
+
+#[inline]
+fn fold(h: u64, x: u64) -> u64 {
+    // Order-sensitive fold (within a row the id list is sorted, so
+    // sensitivity is fine and cheaper than another mix per element).
+    mix64(h ^ x)
+}
+
+fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = fold(h, u64::from_le_bytes(word) ^ chunk.len() as u64);
+    }
+    fold(h, bytes.len() as u64)
+}
+
+fn hash_num(h: u64, n: Num) -> u64 {
+    fold(h, n.get().to_bits())
+}
+
+fn hash_pattern(mut h: u64, p: &Pattern) -> u64 {
+    h = fold(
+        h,
+        p.anchored_start() as u64 | (p.anchored_end() as u64) << 1,
+    );
+    h = fold(h, p.segments().len() as u64);
+    for seg in p.segments() {
+        h = hash_bytes(h, seg.as_bytes());
+    }
+    h
+}
+
+/// Folds the resolved (sorted) subscription ids of one row.
+fn hash_row_ids(
+    summary: &BrokerSummary,
+    dense: &IdList,
+    mut h: u64,
+    scratch: &mut Vec<SubscriptionId>,
+) -> u64 {
+    summary.resolve_postings(dense, scratch);
+    h = fold(h, scratch.len() as u64);
+    for &id in scratch.iter() {
+        h = fold(h, hash_id(id));
+    }
+    h
+}
+
+/// A 24-byte equality witness for a [`BrokerSummary`].
+///
+/// # Example
+///
+/// ```
+/// use subsum_core::BrokerSummary;
+/// use subsum_types::{stock_schema, BrokerId, LocalSubId, NumOp, Subscription};
+///
+/// # fn main() -> Result<(), subsum_types::TypeError> {
+/// let schema = stock_schema();
+/// let sub = Subscription::builder(&schema)
+///     .num("price", NumOp::Lt, 8.70)?
+///     .build()?;
+/// let mut a = BrokerSummary::new(schema.clone());
+/// let mut b = BrokerSummary::new(schema.clone());
+/// a.insert(BrokerId(1), LocalSubId(0), &sub);
+/// assert_ne!(a.digest(), b.digest());
+/// b.insert(BrokerId(1), LocalSubId(0), &sub);
+/// assert_eq!(a.digest(), b.digest());
+/// assert_eq!(a.digest().to_bytes().len(), subsum_core::SummaryDigest::WIRE_BYTES);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SummaryDigest {
+    /// Number of distinct subscriptions summarized.
+    pub count: u64,
+    /// Order-independent hash of the subscription-id set.
+    pub id_hash: u64,
+    /// Structural checksum over all AACS/SACS rows (row-order
+    /// independent within each attribute).
+    pub structure: u64,
+}
+
+impl SummaryDigest {
+    /// Serialized size of a digest on the wire.
+    pub const WIRE_BYTES: usize = 24;
+
+    /// Big-endian serialization: `count · id_hash · structure`.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[..8].copy_from_slice(&self.count.to_be_bytes());
+        out[8..16].copy_from_slice(&self.id_hash.to_be_bytes());
+        out[16..].copy_from_slice(&self.structure.to_be_bytes());
+        out
+    }
+
+    /// Parses [`Self::to_bytes`] output; `None` on a short/long buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::WIRE_BYTES {
+            return None;
+        }
+        let word = |i: usize| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_be_bytes(w)
+        };
+        Some(SummaryDigest {
+            count: word(0),
+            id_hash: word(8),
+            structure: word(16),
+        })
+    }
+}
+
+impl BrokerSummary {
+    /// Computes the summary's anti-entropy digest. Linear in the total
+    /// row/posting count; no ordering of rows is assumed.
+    pub fn digest(&self) -> SummaryDigest {
+        let ids = self.subscription_ids();
+        let id_hash = ids
+            .iter()
+            .fold(0u64, |acc, &id| acc.wrapping_add(hash_id(id)));
+
+        let mut scratch = Vec::new();
+        let mut structure = 0u64;
+        for (attr, _spec) in self.schema().iter() {
+            let attr_salt = mix64(0xA77A ^ attr.0 as u64);
+            let mut attr_hash = 0u64;
+            if let Some(aacs) = self.arith_summary(attr) {
+                for row in aacs.ranges() {
+                    let mut h = fold(attr_salt, 0x5A4E47);
+                    h = match row.interval.lo() {
+                        LowerBound::NegInf => fold(h, 0),
+                        LowerBound::Incl(n) => hash_num(fold(h, 1), n),
+                        LowerBound::Excl(n) => hash_num(fold(h, 2), n),
+                    };
+                    h = match row.interval.hi() {
+                        UpperBound::PosInf => fold(h, 0),
+                        UpperBound::Incl(n) => hash_num(fold(h, 1), n),
+                        UpperBound::Excl(n) => hash_num(fold(h, 2), n),
+                    };
+                    attr_hash =
+                        attr_hash.wrapping_add(hash_row_ids(self, &row.ids, h, &mut scratch));
+                }
+                for (num, idlist) in aacs.points() {
+                    let h = hash_num(fold(attr_salt, 0x50_49_4E_54), num);
+                    attr_hash = attr_hash.wrapping_add(hash_row_ids(self, idlist, h, &mut scratch));
+                }
+            }
+            if let Some(sacs) = self.string_summary(attr) {
+                for (pattern, idlist) in sacs.rows() {
+                    let h = hash_pattern(fold(attr_salt, 0x504154), &pattern);
+                    attr_hash = attr_hash.wrapping_add(hash_row_ids(self, idlist, h, &mut scratch));
+                }
+            }
+            structure = structure.wrapping_add(mix64(attr_salt ^ attr_hash));
+        }
+
+        SummaryDigest {
+            count: ids.len() as u64,
+            id_hash,
+            structure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsum_types::{stock_schema, BrokerId, LocalSubId, NumOp, StrOp, Subscription};
+
+    fn subs() -> (subsum_types::Schema, Vec<Subscription>) {
+        let schema = stock_schema();
+        let subs = vec![
+            Subscription::builder(&schema)
+                .num("price", NumOp::Gt, 8.30)
+                .unwrap()
+                .num("price", NumOp::Lt, 8.70)
+                .unwrap()
+                .build()
+                .unwrap(),
+            Subscription::builder(&schema)
+                .str_op("symbol", StrOp::Prefix, "OT")
+                .unwrap()
+                .build()
+                .unwrap(),
+            Subscription::builder(&schema)
+                .num("volume", NumOp::Eq, 1000.0)
+                .unwrap()
+                .str_op("symbol", StrOp::Eq, "OTE")
+                .unwrap()
+                .build()
+                .unwrap(),
+        ];
+        (schema, subs)
+    }
+
+    #[test]
+    fn equal_builds_have_equal_digests() {
+        let (schema, subs) = subs();
+        let build = || {
+            let mut s = BrokerSummary::new(schema.clone());
+            for (i, sub) in subs.iter().enumerate() {
+                s.insert(BrokerId(3), LocalSubId(i as u32), sub);
+            }
+            s
+        };
+        assert_eq!(build().digest(), build().digest());
+        assert_eq!(build().digest().count, subs.len() as u64);
+    }
+
+    #[test]
+    fn any_divergence_changes_the_digest() {
+        let (schema, subs) = subs();
+        let mut full = BrokerSummary::new(schema.clone());
+        let mut partial = BrokerSummary::new(schema.clone());
+        for (i, sub) in subs.iter().enumerate() {
+            full.insert(BrokerId(3), LocalSubId(i as u32), sub);
+            if i + 1 < subs.len() {
+                partial.insert(BrokerId(3), LocalSubId(i as u32), sub);
+            }
+        }
+        let (df, dp) = (full.digest(), partial.digest());
+        assert_ne!(df, dp);
+        assert_ne!(df.count, dp.count);
+        assert_ne!(df.id_hash, dp.id_hash);
+
+        // Same count, different owner broker: id hash catches it.
+        let mut other = BrokerSummary::new(schema.clone());
+        for (i, sub) in subs.iter().enumerate() {
+            other.insert(BrokerId(4), LocalSubId(i as u32), sub);
+        }
+        assert_eq!(other.digest().count, df.count);
+        assert_ne!(other.digest().id_hash, df.id_hash);
+    }
+
+    #[test]
+    fn structure_detects_constraint_drift_with_same_ids() {
+        let schema = stock_schema();
+        let a_sub = Subscription::builder(&schema)
+            .num("price", NumOp::Lt, 5.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let b_sub = Subscription::builder(&schema)
+            .num("price", NumOp::Lt, 6.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut a = BrokerSummary::new(schema.clone());
+        let mut b = BrokerSummary::new(schema.clone());
+        a.insert(BrokerId(1), LocalSubId(0), &a_sub);
+        b.insert(BrokerId(1), LocalSubId(0), &b_sub);
+        let (da, db) = (a.digest(), b.digest());
+        assert_eq!(da.count, db.count);
+        assert_eq!(da.id_hash, db.id_hash);
+        assert_ne!(da.structure, db.structure, "structure must see the bound");
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let (schema, subs) = subs();
+        let mut s = BrokerSummary::new(schema);
+        for (i, sub) in subs.iter().enumerate() {
+            s.insert(BrokerId(9), LocalSubId(i as u32), sub);
+        }
+        let d = s.digest();
+        let bytes = d.to_bytes();
+        assert_eq!(SummaryDigest::from_bytes(&bytes), Some(d));
+        assert_eq!(SummaryDigest::from_bytes(&bytes[..23]), None);
+    }
+
+    #[test]
+    fn merge_of_identical_summary_is_digest_stable() {
+        let (schema, subs) = subs();
+        let mut s = BrokerSummary::new(schema);
+        for (i, sub) in subs.iter().enumerate() {
+            s.insert(BrokerId(2), LocalSubId(i as u32), sub);
+        }
+        let before = s.digest();
+        let copy = s.clone();
+        s.merge(&copy);
+        #[cfg(debug_assertions)]
+        s.validate();
+        assert_eq!(s.digest(), before, "self-merge must be a digest no-op");
+    }
+}

@@ -101,7 +101,10 @@ pub(crate) fn idlist_remap(list: &mut IdList, map: impl Fn(DenseId) -> DenseId) 
     for d in list.iter_mut() {
         *d = map(*d);
     }
-    debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "remap was not monotone");
+    debug_assert!(
+        list.windows(2).all(|w| w[0] < w[1]),
+        "remap was not monotone"
+    );
 }
 
 /// Deletes `gone` from the list (if present) and decrements every dense id

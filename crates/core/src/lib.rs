@@ -51,6 +51,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod aacs;
+mod digest;
 mod idlist;
 mod sacs;
 mod stats;
@@ -58,6 +59,7 @@ mod summary;
 mod wire;
 
 pub use aacs::{RangeRow, RangeSummary};
+pub use digest::SummaryDigest;
 #[cfg(any(test, debug_assertions))]
 pub use idlist::validate_idlist;
 pub use idlist::{DenseId, IdList, SubIdList};

@@ -539,7 +539,11 @@ impl PatternSummary {
             validate_idlist(ids);
         }
         for row in &self.patterns {
-            assert!(!row.ids.is_empty(), "wildcard row {} has no ids", row.pattern);
+            assert!(
+                !row.ids.is_empty(),
+                "wildcard row {} has no ids",
+                row.pattern
+            );
             validate_idlist(&row.ids);
         }
         for (i, a) in self.patterns.iter().enumerate() {

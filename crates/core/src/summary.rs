@@ -659,13 +659,18 @@ impl BrokerSummary {
             }
         }
         if lo <= hi {
+            // Indexed on purpose: each word is read *and* cleared in
+            // place, and `w` feeds the dense-id reconstruction below.
+            #[allow(clippy::needless_range_loop)]
             for w in lo..=hi {
                 let mut bits = matched_words[w];
                 matched_words[w] = 0;
                 while bits != 0 {
                     let b = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    outcome.matched.push(self.intern.resolve((w * 64 + b) as DenseId));
+                    outcome
+                        .matched
+                        .push(self.intern.resolve((w * 64 + b) as DenseId));
                 }
             }
         }
@@ -772,12 +777,22 @@ impl BrokerSummary {
     /// Panics on the first violated invariant.
     #[cfg(any(test, debug_assertions))]
     pub fn validate(&self) {
-        assert_eq!(self.arith.len(), self.schema.len(), "AACS slots span the schema");
-        assert_eq!(self.strings.len(), self.schema.len(), "SACS slots span the schema");
+        assert_eq!(
+            self.arith.len(),
+            self.schema.len(),
+            "AACS slots span the schema"
+        );
+        assert_eq!(
+            self.strings.len(),
+            self.schema.len(),
+            "SACS slots span the schema"
+        );
         for (idx, slot) in self.arith.iter().enumerate() {
             if let Some(s) = slot {
                 assert!(
-                    self.schema.kind(subsum_types::AttrId(idx as u16)).is_arithmetic(),
+                    self.schema
+                        .kind(subsum_types::AttrId(idx as u16))
+                        .is_arithmetic(),
                     "AACS slot on non-arithmetic attribute {idx}"
                 );
                 s.validate();
@@ -786,7 +801,10 @@ impl BrokerSummary {
         for (idx, slot) in self.strings.iter().enumerate() {
             if let Some(s) = slot {
                 assert!(
-                    !self.schema.kind(subsum_types::AttrId(idx as u16)).is_arithmetic(),
+                    !self
+                        .schema
+                        .kind(subsum_types::AttrId(idx as u16))
+                        .is_arithmetic(),
                     "SACS slot on arithmetic attribute {idx}"
                 );
                 s.validate();
@@ -1329,11 +1347,8 @@ mod tests {
         summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
         // Corrupt the intern table behind the API's back: a slot no row
         // references breaks the contiguity invariant.
-        let bogus = SubscriptionId::new(
-            BrokerId(9),
-            LocalSubId(9),
-            subsum_types::AttrMask::empty(),
-        );
+        let bogus =
+            SubscriptionId::new(BrokerId(9), LocalSubId(9), subsum_types::AttrMask::empty());
         summary.intern.required.push(bogus.mask.count());
         summary.intern.ids.push(bogus);
         summary.validate();

@@ -181,7 +181,11 @@ fn dense_kernel_allocates_nothing_with_large_population() {
         if i % 3 == 0 {
             let prefix = [b'A' + (i % 26) as u8];
             b = b
-                .str_op("symbol", StrOp::Prefix, std::str::from_utf8(&prefix).unwrap())
+                .str_op(
+                    "symbol",
+                    StrOp::Prefix,
+                    std::str::from_utf8(&prefix).unwrap(),
+                )
                 .unwrap();
         }
         if i % 7 == 0 {

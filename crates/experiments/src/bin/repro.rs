@@ -15,7 +15,8 @@
 //! regardless of the figure chosen.
 
 use subsum_experiments::{
-    ablations, analysis, compute, fig10, fig11, fig8, fig9, latency, scaling, telemetry_probe,
+    ablations, analysis, compute, fig10, fig11, fig8, fig9, latency, recovery, scaling,
+    telemetry_probe,
 };
 use subsum_experiments::{ExperimentConfig, ResultTable};
 use subsum_telemetry::RunReport;
@@ -112,11 +113,12 @@ fn main() {
         "filter" => vec![ablations::run_subsumption_filter(&cfg)],
         "latency" => vec![latency::run(&cfg)],
         "scaling" => vec![scaling::run(&cfg)],
+        "recovery" => vec![recovery::run(&cfg)],
         "all" => subsum_experiments::run_all(&cfg),
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of fig8 fig9 fig10 fig11 \
-                 compute analysis vdeg subsumption filter latency scaling all"
+                 compute analysis vdeg subsumption filter latency scaling recovery all"
             );
             std::process::exit(2);
         }

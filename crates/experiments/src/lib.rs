@@ -15,6 +15,7 @@
 //! | [`ablations`] | §6 / §5.2 | virtual degrees; subsumption models; the §6 filter |
 //! | [`latency`] | beyond the paper | delivery latency: sequential BROCLI vs parallel flood |
 //! | [`telemetry_probe`] | beyond the paper | deterministic stage-coverage run for `repro --telemetry-json` |
+//! | [`recovery`] | beyond the paper | crash/recovery convergence; anti-entropy vs naive repair traffic |
 //!
 //! All experiments are deterministic under [`ExperimentConfig::seed`].
 //!
@@ -40,6 +41,7 @@ pub mod fig11;
 pub mod fig8;
 pub mod fig9;
 pub mod latency;
+pub mod recovery;
 pub mod scaling;
 pub mod telemetry_probe;
 
@@ -61,5 +63,6 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ResultTable> {
         ablations::run_subsumption_filter(cfg),
         latency::run(cfg),
         scaling::run(cfg),
+        recovery::run(cfg),
     ]
 }

@@ -13,15 +13,23 @@
 //! * [`NetMetrics`] — byte/message/hop accounting following the paper's
 //!   conventions (a hop is any broker→broker message);
 //! * [`EventQueue`] — a deterministic discrete-event queue that sequences
-//!   simulated message deliveries reproducibly.
+//!   simulated message deliveries reproducibly;
+//! * [`FaultPlan`] / [`LossyNet`] — seeded, replayable fault injection
+//!   (drops, duplicates, delays, link cuts, partitions, broker crashes)
+//!   layered onto the event queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod fault;
 mod metrics;
 mod sim;
 mod topology;
 
+pub use fault::{
+    mix64, CrashEvent, DeliveryDecision, Envelope, FaultPlan, FaultStats, LinkCut, LinkProfile,
+    LossyNet, PartitionWindow, SplitMix64,
+};
 pub use metrics::NetMetrics;
 pub use sim::EventQueue;
 pub use topology::{NodeId, Topology, TopologyError};

@@ -87,8 +87,12 @@ impl<M> EventQueue<M> {
     }
 
     /// Schedules `payload` `delay` ticks after the current time.
+    ///
+    /// The addition saturates, so a huge delay (e.g. `u64::MAX` from a
+    /// fault plan's "never" sentinel) schedules at the end of time
+    /// instead of panicking on overflow in debug builds.
     pub fn push_after(&mut self, delay: u64, payload: M) {
-        self.push(self.now + delay, payload);
+        self.push(self.now.saturating_add(delay), payload);
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
@@ -147,6 +151,15 @@ mod tests {
         assert_eq!(q.now(), 5);
         q.push_after(2, ());
         assert_eq!(q.pop().unwrap().0, 7);
+    }
+
+    #[test]
+    fn push_after_saturates_instead_of_overflowing() {
+        let mut q = EventQueue::new();
+        q.push(5, 'a');
+        q.pop();
+        q.push_after(u64::MAX, 'z');
+        assert_eq!(q.pop(), Some((u64::MAX, 'z')));
     }
 
     #[test]

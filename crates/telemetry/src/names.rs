@@ -64,6 +64,20 @@ pub const SIENA_PROPAGATE: &str = "siena.propagate";
 /// Event routing of the Siena-style baseline.
 pub const SIENA_ROUTE: &str = "siena.route";
 
+/// Chaos-run messages lost (per-link drops + link cuts + crashed
+/// receivers).
+pub const CHAOS_DROPS: &str = "chaos.drops";
+/// Chaos-run duplicate message copies injected.
+pub const CHAOS_DUPS: &str = "chaos.dups";
+/// Broker crash events executed by chaos runs.
+pub const CHAOS_CRASHES: &str = "chaos.crashes";
+/// Anti-entropy digest mismatches that triggered a full re-send.
+pub const CHAOS_RESYNCS: &str = "chaos.resyncs";
+/// Bytes spent on anti-entropy digest advertisements.
+pub const CHAOS_DIGEST_BYTES: &str = "chaos.digest_bytes";
+/// Bytes spent on full summary updates during chaos runs.
+pub const CHAOS_FULL_BYTES: &str = "chaos.full_summary_bytes";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -92,6 +106,12 @@ mod tests {
             super::RUNTIME_MAILBOX_PREFIX,
             super::SIENA_PROPAGATE,
             super::SIENA_ROUTE,
+            super::CHAOS_DROPS,
+            super::CHAOS_DUPS,
+            super::CHAOS_CRASHES,
+            super::CHAOS_RESYNCS,
+            super::CHAOS_DIGEST_BYTES,
+            super::CHAOS_FULL_BYTES,
         ];
         let mut seen = std::collections::HashSet::new();
         for name in all {

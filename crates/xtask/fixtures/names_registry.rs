@@ -3,6 +3,8 @@
 
 pub const APP_GOOD: &str = "app.good";
 pub const APP_OTHER: &str = "app.other";
+pub const APP_CHAOS_DROPS: &str = "chaos.drops";
+pub const APP_CHAOS_RESYNCS: &str = "chaos.resyncs";
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,11 @@
+//! Fixture call sites for the chaos counter family: the registered
+//! `chaos.*` names pass, exactly one unregistered one is seeded.
+
+static DROPS: Count = Count::new("chaos.drops"); // registered literal: fine
+static RESYNCS: Count = Count::new(names::APP_CHAOS_RESYNCS); // constant: fine
+static ROGUE: Count = Count::new("chaos.unregistered"); // violation
+
+pub fn record() {
+    let c = counter("chaos.resyncs"); // registered literal: fine
+    let _ = (c, &DROPS, &RESYNCS, &ROGUE);
+}

@@ -253,7 +253,13 @@ fn registry_names(src: &Source) -> BTreeSet<String> {
 fn telemetry_names(src: &Source, registry: &BTreeSet<String>, out: &mut Vec<Violation>) {
     let masked = &src.scanned.masked;
     let n = masked.len();
-    for callee in ["Count::new(", "Stage::new(", "counter(", "gauge(", "histogram("] {
+    for callee in [
+        "Count::new(",
+        "Stage::new(",
+        "counter(",
+        "gauge(",
+        "histogram(",
+    ] {
         let needle = callee.as_bytes();
         let mut from = 0;
         while let Some(pos) = scan::find(masked, needle, from) {
@@ -491,6 +497,18 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_names_accepts_registered_chaos_family() {
+        let mut cfg = empty_config(fixtures());
+        cfg.registry = Some(PathBuf::from("names_registry.rs"));
+        cfg.scan_files = vec![PathBuf::from("telemetry_chaos.rs")];
+        let v = run_check(&cfg).unwrap();
+        // The registered `chaos.*` literals and the constant reference
+        // pass; only the seeded unregistered name fires.
+        assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
+        assert!(v[0].msg.contains("chaos.unregistered"));
+    }
+
+    #[test]
     fn derived_state_flags_wire_reference() {
         let mut cfg = empty_config(fixtures());
         cfg.scan_files = vec![PathBuf::from("derived_struct.rs")];
@@ -524,9 +542,7 @@ mod tests {
 
     #[test]
     fn real_workspace_is_clean() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("..")
-            .join("..");
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
         let cfg = CheckConfig::workspace(&root).unwrap();
         assert!(!cfg.scan_files.is_empty());
         let v = run_check(&cfg).unwrap();

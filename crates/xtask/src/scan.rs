@@ -137,11 +137,7 @@ pub fn scan(src: &[u8]) -> Scanned {
             }
         }
         // Byte string b"..".
-        if b == b'b'
-            && i + 1 < n
-            && src[i + 1] == b'"'
-            && (i == 0 || !is_ident(src[i - 1]))
-        {
+        if b == b'b' && i + 1 < n && src[i + 1] == b'"' && (i == 0 || !is_ident(src[i - 1])) {
             let (end, value) = cooked_string(src, i + 1);
             strings.push(StrLit { start: i, value });
             blank(&mut masked, i, end);
