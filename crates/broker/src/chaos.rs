@@ -52,9 +52,11 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec, SummaryDigest};
 use subsum_net::{FaultPlan, LossyNet, NodeId, Topology};
+use subsum_telemetry::trace::{SpanRecord, TraceCtx, Tracer};
 use subsum_telemetry::Count;
 use subsum_types::{
     BrokerId, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError,
@@ -156,6 +158,10 @@ pub struct ChaosReport {
     pub drained_at: u64,
     /// The run's decision counters.
     pub stats: ChaosStats,
+    /// Flight-recorder contents captured at each crash event (broker,
+    /// spans oldest-first): the "black box" of what the dying broker
+    /// last saw. Empty when no tracer is attached or nothing crashed.
+    pub crash_snapshots: Vec<(NodeId, Vec<SpanRecord>)>,
 }
 
 /// One simulated broker of a chaos run: its exact store, its own
@@ -202,6 +208,9 @@ pub struct ChaosRun {
     config: ChaosConfig,
     codec: SummaryCodec,
     brokers: Vec<ChaosBroker>,
+    /// Optional causal tracer shared with the lossy network. `None`
+    /// leaves every trace hook a no-op.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ChaosRun {
@@ -235,7 +244,32 @@ impl ChaosRun {
             config,
             codec,
             brokers,
+            tracer: None,
         })
+    }
+
+    /// Attaches a causal tracer. Every control message and summary
+    /// exchange of the next [`ChaosRun::run`] gets a trace: scheduled
+    /// origins (initial wave, repair ticks, restarts) start new roots,
+    /// reactive messages (digest → pull → update) extend the chain of
+    /// the message that caused them, and each crash event snapshots the
+    /// dying broker's flight recorder into the report.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// A fresh root context if a tracer is attached, [`TraceCtx::NONE`]
+    /// otherwise.
+    fn root(&self) -> TraceCtx {
+        self.tracer
+            .as_ref()
+            .map(|t| t.new_root())
+            .unwrap_or(TraceCtx::NONE)
     }
 
     /// Registers `sub` at broker `b`, returning its id. Ids ascend with
@@ -321,7 +355,11 @@ impl ChaosRun {
     /// (cannot happen for schema-consistent runs).
     pub fn run(&mut self) -> Result<ChaosReport, TypeError> {
         let mut net: LossyNet<ChaosMsg> = LossyNet::new(self.plan.clone());
+        if let Some(tracer) = &self.tracer {
+            net.set_tracer(Arc::clone(tracer));
+        }
         let mut stats = ChaosStats::default();
+        let mut crash_snapshots = Vec::new();
         let n = self.brokers.len() as NodeId;
 
         // Schedule the plan's crash/restart control events and the
@@ -338,9 +376,12 @@ impl ChaosRun {
             }
         }
 
-        // Initial propagation wave: everyone announces its summary.
+        // Initial propagation wave: everyone announces its summary. Each
+        // broker's wave is one causal root, so its fan-out shows up as
+        // sibling spans of a single trace.
         for b in 0..n {
-            self.send_update_to_neighbors(&mut net, &mut stats, b)?;
+            let ctx = self.root();
+            self.send_update_to_neighbors(&mut net, &mut stats, b, ctx)?;
         }
 
         let quiet_after = self.plan_quiet_after();
@@ -348,6 +389,10 @@ impl ChaosRun {
         let mut converged_at = None;
         while let Some((time, env)) = net.pop() {
             let me = env.to;
+            // Reactive sends extend the causal chain of the message that
+            // triggered them; the parent already points at this
+            // delivery's dequeue span.
+            let ctx = env.trace;
             match env.payload {
                 ChaosMsg::Update(summary) => {
                     if self.brokers[me as usize].alive {
@@ -366,16 +411,31 @@ impl ChaosRun {
                             stats.resyncs += 1;
                             stats.pulls += 1;
                             stats.pull_bytes += PULL_BYTES;
-                            net.send(me, env.from, self.config.link_delay, ChaosMsg::Pull);
+                            net.send_traced(
+                                me,
+                                env.from,
+                                self.config.link_delay,
+                                ctx,
+                                ChaosMsg::Pull,
+                            );
                         }
                     }
                 }
                 ChaosMsg::Pull => {
                     if self.brokers[me as usize].alive {
-                        self.send_update(&mut net, &mut stats, me, env.from)?;
+                        self.send_update(&mut net, &mut stats, me, env.from, ctx)?;
                     }
                 }
                 ChaosMsg::Crash => {
+                    // Capture the black box before the state is wiped.
+                    if let Some(snap) = self
+                        .tracer
+                        .as_ref()
+                        .and_then(|t| t.recorder(me))
+                        .map(|r| r.snapshot())
+                    {
+                        crash_snapshots.push((me, snap));
+                    }
                     let broker = &mut self.brokers[me as usize];
                     broker.alive = false;
                     broker.exact.clear();
@@ -388,24 +448,34 @@ impl ChaosRun {
                     self.restart(me);
                     stats.restarts += 1;
                     // Announce the recovered summary and re-learn every
-                    // neighbor's.
-                    self.send_update_to_neighbors(&mut net, &mut stats, me)?;
+                    // neighbor's. Recovery is a fresh causal origin.
+                    let ctx = self.root();
+                    self.send_update_to_neighbors(&mut net, &mut stats, me, ctx)?;
                     for &nb in self.topology.neighbors(me).to_vec().iter() {
                         stats.pulls += 1;
                         stats.pull_bytes += PULL_BYTES;
-                        net.send(me, nb, self.config.link_delay, ChaosMsg::Pull);
+                        net.send_traced(me, nb, self.config.link_delay, ctx, ChaosMsg::Pull);
                     }
                 }
                 ChaosMsg::RepairTick => {
                     if self.brokers[me as usize].alive {
+                        // Each anti-entropy round at each broker is a
+                        // fresh causal origin.
+                        let ctx = self.root();
                         if self.config.naive_repair {
-                            self.send_update_to_neighbors(&mut net, &mut stats, me)?;
+                            self.send_update_to_neighbors(&mut net, &mut stats, me, ctx)?;
                         } else {
                             let digest = self.brokers[me as usize].own.digest();
                             for &nb in self.topology.neighbors(me).to_vec().iter() {
                                 stats.digest_msgs += 1;
                                 stats.digest_bytes += SummaryDigest::WIRE_BYTES as u64;
-                                net.send(me, nb, self.config.link_delay, ChaosMsg::Digest(digest));
+                                net.send_traced(
+                                    me,
+                                    nb,
+                                    self.config.link_delay,
+                                    ctx,
+                                    ChaosMsg::Digest(digest),
+                                );
                             }
                         }
                     }
@@ -436,6 +506,7 @@ impl ChaosRun {
             converged_at,
             drained_at: net.now(),
             stats,
+            crash_snapshots,
         })
     }
 
@@ -483,11 +554,18 @@ impl ChaosRun {
         stats: &mut ChaosStats,
         from: NodeId,
         to: NodeId,
+        ctx: TraceCtx,
     ) -> Result<(), TypeError> {
         let summary = self.brokers[from as usize].own.clone();
         stats.full_updates += 1;
         stats.full_summary_bytes += self.codec.encoded_len(&summary)? as u64;
-        net.send(from, to, self.config.link_delay, ChaosMsg::Update(summary));
+        net.send_traced(
+            from,
+            to,
+            self.config.link_delay,
+            ctx,
+            ChaosMsg::Update(summary),
+        );
         Ok(())
     }
 
@@ -496,9 +574,10 @@ impl ChaosRun {
         net: &mut LossyNet<ChaosMsg>,
         stats: &mut ChaosStats,
         from: NodeId,
+        ctx: TraceCtx,
     ) -> Result<(), TypeError> {
         for &nb in self.topology.neighbors(from).to_vec().iter() {
-            self.send_update(net, stats, from, nb)?;
+            self.send_update(net, stats, from, nb, ctx)?;
         }
         Ok(())
     }

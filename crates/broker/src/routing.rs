@@ -15,6 +15,7 @@
 
 use subsum_core::MatchScratch;
 use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_telemetry::trace::{SpanKind, TraceCtx, Tracer};
 use subsum_telemetry::Stage;
 use subsum_types::{Event, SubscriptionId};
 
@@ -65,6 +66,14 @@ pub struct Notification {
     pub owner: NodeId,
     /// The matched subscription.
     pub id: SubscriptionId,
+    /// Logical arrival tick at the owner: the cumulative overlay
+    /// distance the event travelled to `found_at` plus the distance of
+    /// the notification send (0 extra for a local match). Deterministic
+    /// latency-attribution input; 0-based at the publisher.
+    pub eta: u64,
+    /// The match span that produced this candidate (0 when untraced or
+    /// unsampled) — parent for the owner-side verification spans.
+    pub span: u32,
 }
 
 /// The result of routing one event.
@@ -149,6 +158,60 @@ pub fn route_event_with_scratch(
     options: &RoutingOptions,
     scratch: &mut MatchScratch,
 ) -> RoutingOutcome {
+    route_inner(
+        topology,
+        stored,
+        publisher,
+        event,
+        event_bytes,
+        options,
+        scratch,
+        None,
+    )
+}
+
+/// As [`route_event_with_scratch`], recording causal route/match spans
+/// into `tracer` under `ctx`: one route span per examined broker (each
+/// chained to the previous hop's route span), one match span per summary
+/// examination, with the cumulative overlay distance as the logical
+/// clock. Matching behavior and the returned outcome's routing fields
+/// are identical to the untraced path; in addition each notification
+/// carries its producing match span and logical arrival tick.
+#[allow(clippy::too_many_arguments)]
+pub fn route_event_traced(
+    topology: &Topology,
+    stored: &[MergedSummary],
+    publisher: NodeId,
+    event: &Event,
+    event_bytes: usize,
+    options: &RoutingOptions,
+    scratch: &mut MatchScratch,
+    tracer: &Tracer,
+    ctx: TraceCtx,
+) -> RoutingOutcome {
+    route_inner(
+        topology,
+        stored,
+        publisher,
+        event,
+        event_bytes,
+        options,
+        scratch,
+        Some((tracer, ctx)),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_inner(
+    topology: &Topology,
+    stored: &[MergedSummary],
+    publisher: NodeId,
+    event: &Event,
+    event_bytes: usize,
+    options: &RoutingOptions,
+    scratch: &mut MatchScratch,
+    trace: Option<(&Tracer, TraceCtx)>,
+) -> RoutingOutcome {
     assert_eq!(stored.len(), topology.len());
     assert!((publisher as usize) < topology.len());
     let n = topology.len();
@@ -160,34 +223,57 @@ pub fn route_event_with_scratch(
     let mut forward_hops = 0u64;
     let mut notify_hops = 0u64;
 
+    // Logical clock: cumulative overlay distance from the publisher,
+    // advanced by each forward's path length.
+    let mut clock = 0u64;
+    // The previous hop's route span; the incoming context's parent at
+    // the publisher.
+    let mut hop_parent = trace.map(|(_, c)| c.parent).unwrap_or(0);
+
     let mut current = publisher;
     loop {
         visits.push(current);
         let state = &stored[current as usize];
+        let route_span = match trace {
+            Some((t, c)) => t.record(c.trace, hop_parent, current, SpanKind::Route, clock),
+            None => 0,
+        };
 
         // 1. Check the local merged summary for matches; report each
         //    matched subscription to its owner unless the owner's
         //    subscriptions were already examined earlier on the path.
-        let match_span = STAGE_CANDIDATE_MATCH.start();
+        let match_stage = STAGE_CANDIDATE_MATCH.start();
         let matched = &state.summary.match_event_into(event, scratch).matched;
-        match_span.finish();
+        match_stage.finish();
+        let match_span = match trace {
+            Some((t, c)) => t.record(c.trace, route_span, current, SpanKind::Match, clock),
+            None => 0,
+        };
         let mut owners_here: Vec<NodeId> = Vec::new();
+        let dist_here = topology.distances(current);
         for &id in matched {
             let owner = id.broker.0 as NodeId;
             if brocli[owner as usize] {
                 continue; // already examined at a previous broker
             }
+            let eta = if owner == current {
+                clock
+            } else {
+                clock + u64::from(dist_here[owner as usize])
+            };
             notifications.push(Notification {
                 found_at: current,
                 owner,
                 id,
+                eta,
+                span: match_span,
             });
             if owner != current && !owners_here.contains(&owner) {
                 owners_here.push(owner);
             }
         }
         for owner in owners_here {
-            let dist = topology.distances(current)[owner as usize];
+            let dist = dist_here[owner as usize];
             metrics.record(current, owner, event_bytes, dist);
             notify_hops += 1;
         }
@@ -225,6 +311,8 @@ pub fn route_event_with_scratch(
             dist_from_current[next as usize],
         );
         forward_hops += 1;
+        clock += u64::from(dist_from_current[next as usize].max(1));
+        hop_parent = route_span;
         current = next;
     }
 

@@ -43,6 +43,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, SummaryCodec};
 use subsum_net::{NodeId, Topology};
+use subsum_telemetry::trace::{SpanKind, TraceCtx, Tracer};
 use subsum_telemetry::Stage;
 use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError};
 
@@ -71,10 +72,17 @@ struct SummaryMsg {
 
 /// Per-event routing context carried with the event. Completion is
 /// detected when every clone of `deliveries` has been dropped.
+///
+/// `trace` and `clock` are runtime-only observability metadata: the
+/// trace context chains spans hop-to-hop and the logical clock counts
+/// cumulative overlay distance, so span timestamps are deterministic
+/// even though thread scheduling is not.
 #[derive(Debug, Clone)]
 struct EventCtx {
     event: Event,
     deliveries: Sender<Delivery>,
+    trace: TraceCtx,
+    clock: u64,
 }
 
 #[derive(Debug)]
@@ -113,6 +121,11 @@ enum Command {
         ctx: EventCtx,
         ids: Vec<SubscriptionId>,
     },
+    /// Installs (or clears) the shared flight-recorder tracer.
+    SetTracer {
+        tracer: Option<Arc<Tracer>>,
+        reply: Sender<()>,
+    },
     Shutdown,
 }
 
@@ -133,6 +146,18 @@ struct BrokerState {
     /// hit-counter arrays to the stored summary's high-water population
     /// once, after which steady-state matching is allocation-free.
     scratch: MatchScratch,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl BrokerState {
+    /// Records a span into the shared flight recorder; 0 when tracing is
+    /// off or the trace is unsampled.
+    fn span(&self, ctx: TraceCtx, kind: SpanKind, at: u64) -> u32 {
+        match &self.tracer {
+            Some(t) => t.record_ctx(ctx, self.id, kind, at),
+            None => 0,
+        }
+    }
 }
 
 impl BrokerState {
@@ -208,21 +233,42 @@ impl BrokerState {
                 self.examine_event(ctx, &mut brocli);
             }
             Command::Notify { ctx, ids } => {
+                let vspan = self.span(ctx.trace, SpanKind::OwnerVerify, ctx.clock);
+                let child = TraceCtx {
+                    trace: ctx.trace.trace,
+                    parent: vspan,
+                };
                 for id in ids {
                     if let Some(sub) = self.exact.get(&id) {
                         if sub.matches(&ctx.event) {
+                            self.span(child, SpanKind::Deliver, ctx.clock);
                             let _ = ctx.deliveries.send(Delivery { id, owner: self.id });
+                        } else {
+                            self.span(child, SpanKind::Drop, ctx.clock);
                         }
                     }
                 }
                 // ctx drops here, releasing one latch reference.
+            }
+            Command::SetTracer { tracer, reply } => {
+                self.tracer = tracer;
+                let _ = reply.send(());
             }
             Command::Shutdown => return false,
         }
         true
     }
 
-    fn examine_event(&mut self, ctx: EventCtx, brocli: &mut [bool]) {
+    fn examine_event(&mut self, mut ctx: EventCtx, brocli: &mut [bool]) {
+        let route_span = self.span(ctx.trace, SpanKind::Route, ctx.clock);
+        let match_span = self.span(
+            TraceCtx {
+                trace: ctx.trace.trace,
+                parent: route_span,
+            },
+            SpanKind::Match,
+            ctx.clock,
+        );
         // 1. Match against the local merged summary (through this
         //    thread's reusable scratch); report candidates to owners
         //    whose subscriptions were not yet examined.
@@ -237,19 +283,38 @@ impl BrokerState {
                 per_owner.entry(owner).or_default().push(id);
             }
         }
+        let dist = self.topology.distances(self.id);
         for (owner, ids) in per_owner {
             if owner == self.id {
                 // Local verification without a hop.
+                let vspan = self.span(
+                    TraceCtx {
+                        trace: ctx.trace.trace,
+                        parent: match_span,
+                    },
+                    SpanKind::OwnerVerify,
+                    ctx.clock,
+                );
+                let child = TraceCtx {
+                    trace: ctx.trace.trace,
+                    parent: vspan,
+                };
                 for id in ids {
                     if let Some(sub) = self.exact.get(&id) {
                         if sub.matches(&ctx.event) {
+                            self.span(child, SpanKind::Deliver, ctx.clock);
                             let _ = ctx.deliveries.send(Delivery { id, owner: self.id });
+                        } else {
+                            self.span(child, SpanKind::Drop, ctx.clock);
                         }
                     }
                 }
             } else {
+                let mut notify_ctx = ctx.clone();
+                notify_ctx.trace.parent = match_span;
+                notify_ctx.clock = ctx.clock + u64::from(dist[owner as usize]);
                 let _ = self.peers[owner as usize].send(Command::Notify {
-                    ctx: ctx.clone(),
+                    ctx: notify_ctx,
                     ids,
                 });
             }
@@ -265,7 +330,6 @@ impl BrokerState {
         if brocli.iter().all(|&c| c) {
             return; // ctx drops; the publisher's collector unblocks.
         }
-        let dist = self.topology.distances(self.id);
         let next = (0..self.topology.len() as NodeId)
             .filter(|&v| !brocli[v as usize])
             .min_by_key(|&v| {
@@ -276,6 +340,8 @@ impl BrokerState {
                 )
             })
             .expect("some broker outside BROCLI");
+        ctx.trace.parent = route_span;
+        ctx.clock += u64::from(dist[next as usize].max(1));
         let _ = self.peers[next as usize].send(Command::ExamineEvent {
             ctx,
             brocli: brocli.to_vec(),
@@ -290,6 +356,7 @@ pub struct BrokerNetwork {
     schema: Schema,
     cmds: Vec<Sender<Command>>,
     handles: Vec<JoinHandle<()>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl BrokerNetwork {
@@ -330,6 +397,7 @@ impl BrokerNetwork {
                 merged_brokers: BTreeSet::from([b as NodeId]),
                 communicated: BTreeSet::new(),
                 scratch: MatchScratch::new(),
+                tracer: None,
             };
             let depth_gauge = subsum_telemetry::gauge(&format!(
                 "{}{b}",
@@ -355,7 +423,37 @@ impl BrokerNetwork {
             schema,
             cmds,
             handles,
+            tracer: None,
         })
+    }
+
+    /// Installs a shared causal tracer: every broker thread records its
+    /// routing, matching and verification spans into `tracer`'s
+    /// per-broker flight recorders, and [`BrokerNetwork::publish`] opens
+    /// a fresh root trace per event. Blocks until every thread has
+    /// acknowledged the install.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a broker thread has shut down.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        let (ack_tx, ack_rx) = unbounded();
+        for tx in &self.cmds {
+            tx.send(Command::SetTracer {
+                tracer: Some(Arc::clone(&tracer)),
+                reply: ack_tx.clone(),
+            })
+            .expect("broker thread alive");
+        }
+        for _ in &self.cmds {
+            ack_rx.recv().expect("tracer install ack");
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The shared schema.
@@ -456,9 +554,15 @@ impl BrokerNetwork {
     /// cascade completes, returning the verified deliveries (sorted).
     pub fn publish(&self, broker: NodeId, event: &Event) -> Vec<Delivery> {
         let (tx, rx) = unbounded();
+        let trace = match &self.tracer {
+            Some(t) => t.new_root(),
+            None => TraceCtx::NONE,
+        };
         let ctx = EventCtx {
             event: event.clone(),
             deliveries: tx,
+            trace,
+            clock: 0,
         };
         self.cmds[broker as usize]
             .send(Command::ExamineEvent {
@@ -608,6 +712,44 @@ mod tests {
             Ok(net) => net.shutdown(),
             Err(_) => panic!("all clones joined"),
         }
+    }
+
+    #[test]
+    fn tracer_records_spans_without_changing_deliveries() {
+        use subsum_telemetry::trace::SpanKind;
+        let schema = stock_schema();
+        let topo = Topology::fig7_tree();
+        let sub = Subscription::builder(&schema)
+            .num("price", NumOp::Lt, 9.0)
+            .unwrap()
+            .build()
+            .unwrap();
+
+        let plain = BrokerNetwork::start(topo.clone(), schema.clone(), 100).unwrap();
+        let mut traced = BrokerNetwork::start(topo.clone(), schema.clone(), 100).unwrap();
+        traced.set_tracer(Arc::new(Tracer::new(topo.len(), 256, 0xFEED, 1)));
+        let id_p = plain.subscribe(4, &sub).unwrap();
+        let id_t = traced.subscribe(4, &sub).unwrap();
+        plain.propagate();
+        traced.propagate();
+
+        let event = Event::builder(&schema).num("price", 8.4).unwrap().build();
+        let a = plain.publish(0, &event);
+        let b = traced.publish(0, &event);
+        assert_eq!(a, vec![Delivery { id: id_p, owner: 4 }]);
+        assert_eq!(b, vec![Delivery { id: id_t, owner: 4 }]);
+
+        let spans = traced.tracer().unwrap().spans();
+        assert!(!spans.is_empty(), "tracer captured the cascade");
+        let count = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count();
+        // One delivery verified at one owner; each examined broker
+        // records exactly one Route + Match pair.
+        assert_eq!(count(SpanKind::Deliver), 1);
+        assert_eq!(count(SpanKind::OwnerVerify), 1);
+        assert!(count(SpanKind::Route) >= 1);
+        assert_eq!(count(SpanKind::Match), count(SpanKind::Route));
+        plain.shutdown();
+        traced.shutdown();
     }
 
     #[test]

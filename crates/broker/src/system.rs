@@ -14,16 +14,20 @@
 //!   consumers only ever see true matches despite SACS generalization.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use subsum_core::{
     ArithWidth, BrokerSummary, MatchScratch, SizeParams, SummaryCodec, SummaryStats,
 };
 use subsum_net::{NetMetrics, NodeId, Topology};
+use subsum_telemetry::trace::{SpanKind, TraceCtx, Tracer};
 use subsum_telemetry::{Count, Stage};
 use subsum_types::{Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError};
 
 use crate::propagation::{propagate, MergedSummary, PropagationOutcome};
-use crate::routing::{route_event_with_scratch, RoutingOptions, RoutingOutcome};
+use crate::routing::{
+    route_event_traced, route_event_with_scratch, RoutingOptions, RoutingOutcome,
+};
 
 /// Telemetry stages and counters of the end-to-end engine. Publishing is
 /// split into its pipeline stages — Algorithm 3 routing
@@ -137,6 +141,10 @@ pub struct SummaryPubSub {
     last_propagation: Option<PropagationOutcome>,
     /// Metrics of the propagation phases run so far.
     propagation_metrics: NetMetrics,
+    /// Optional causal tracer: publishes record route/match spans along
+    /// the Algorithm 3 path and owner-verify/deliver/drop spans at the
+    /// owners. `None` keeps every hook a no-op.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl SummaryPubSub {
@@ -172,8 +180,22 @@ impl SummaryPubSub {
             shadowed_by: vec![HashMap::new(); n],
             last_propagation: None,
             propagation_metrics: NetMetrics::new(n),
+            tracer: None,
             schema,
         })
+    }
+
+    /// Attaches a causal tracer: every subsequent publish gets its own
+    /// trace (subject to the tracer's sampling knob) spanning routing,
+    /// matching and owner verification. Publish outcomes are identical
+    /// with or without a tracer.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The shared attribute schema.
@@ -557,41 +579,79 @@ impl SummaryPubSub {
             .expect("publish requires a completed propagation phase")
             .stored;
         let event_bytes = event.wire_size(&self.schema, 4);
+        // Each publish is its own causal root (whether it records spans
+        // is the tracer's sampling decision).
+        let ctx = self
+            .tracer
+            .as_ref()
+            .map(|t| t.new_root())
+            .unwrap_or(TraceCtx::NONE);
         let route_span = STAGE_ROUTE.start();
-        let routing = route_event_with_scratch(
-            &self.topology,
-            stored,
-            broker,
-            event,
-            event_bytes,
-            &self.routing,
-            scratch,
-        );
+        let routing = match &self.tracer {
+            Some(tracer) => route_event_traced(
+                &self.topology,
+                stored,
+                broker,
+                event,
+                event_bytes,
+                &self.routing,
+                scratch,
+                tracer,
+                ctx,
+            ),
+            None => route_event_with_scratch(
+                &self.topology,
+                stored,
+                broker,
+                event,
+                event_bytes,
+                &self.routing,
+                scratch,
+            ),
+        };
         route_span.finish();
         CNT_CANDIDATES.add(routing.notifications.len() as u64);
         let verify_span = STAGE_OWNER_VERIFY.start();
+        // Owner-side spans: verification at the logical arrival tick,
+        // then a deliver (confirmed) or drop (SACS false positive) leaf.
+        let rec = |parent: u32, owner: NodeId, kind: SpanKind, at: u64| -> u32 {
+            match &self.tracer {
+                Some(t) => t.record(ctx.trace, parent, owner, kind, at),
+                None => 0,
+            }
+        };
         let mut deliveries = Vec::new();
         let mut false_positives = Vec::new();
         for n in &routing.notifications {
+            let vspan = rec(n.span, n.owner, SpanKind::OwnerVerify, n.eta);
             // Tier-2: the owner re-checks against its exact store. A
             // stale id (unsubscribed since the last propagation) is also
             // rejected here.
             match self.exact[n.owner as usize].get(&n.id) {
-                Some(sub) if sub.matches(event) => deliveries.push(Delivery {
-                    id: n.id,
-                    owner: n.owner,
-                }),
-                _ => false_positives.push(n.id),
+                Some(sub) if sub.matches(event) => {
+                    rec(vspan, n.owner, SpanKind::Deliver, n.eta);
+                    deliveries.push(Delivery {
+                        id: n.id,
+                        owner: n.owner,
+                    });
+                }
+                _ => {
+                    rec(vspan, n.owner, SpanKind::Drop, n.eta);
+                    false_positives.push(n.id);
+                }
             }
             // §6 extension: a candidate coverer stands in for its
             // shadowed subscriptions; verify them too.
             if let Some(shadowed) = self.shadows[n.owner as usize].get(&n.id) {
                 for &sid in shadowed {
                     match self.exact[n.owner as usize].get(&sid) {
-                        Some(sub) if sub.matches(event) => deliveries.push(Delivery {
-                            id: sid,
-                            owner: n.owner,
-                        }),
+                        Some(sub) if sub.matches(event) => {
+                            rec(vspan, n.owner, SpanKind::Deliver, n.eta);
+                            deliveries.push(Delivery {
+                                id: sid,
+                                owner: n.owner,
+                            });
+                        }
                         _ => {}
                     }
                 }
@@ -759,6 +819,42 @@ mod tests {
             got.sort();
             assert_eq!(got, oracle, "publisher {publisher}");
         }
+    }
+
+    #[test]
+    fn publish_outcomes_identical_with_tracing_on_and_off() {
+        use subsum_telemetry::trace::SpanKind;
+        let mut sys = system(Topology::cable_wireless_24());
+        let schema = sys.schema().clone();
+        for b in 0..24u16 {
+            let sub = Subscription::builder(&schema)
+                .num("price", NumOp::Lt, (b % 6) as f64)
+                .unwrap()
+                .build()
+                .unwrap();
+            sys.subscribe(b, &sub).unwrap();
+        }
+        sys.propagate().unwrap();
+        let event = Event::builder(&schema).num("price", 2.5).unwrap().build();
+        let plain: Vec<_> = (0..24u16).map(|p| sys.publish(p, &event)).collect();
+
+        sys.set_tracer(Arc::new(Tracer::new(24, 8192, 42, 1)));
+        for (p, before) in plain.iter().enumerate() {
+            let traced = sys.publish(p as NodeId, &event);
+            assert_eq!(traced.deliveries, before.deliveries, "publisher {p}");
+            assert_eq!(traced.false_positives, before.false_positives);
+            assert_eq!(traced.routing.visits, before.routing.visits);
+            assert_eq!(traced.routing.metrics, before.routing.metrics);
+        }
+
+        let spans = sys.tracer().unwrap().spans();
+        let count = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count() as u64;
+        let visits: u64 = plain.iter().map(|o| o.routing.visits.len() as u64).sum();
+        let deliveries: u64 = plain.iter().map(|o| o.deliveries.len() as u64).sum();
+        assert_eq!(count(SpanKind::Route), visits);
+        assert_eq!(count(SpanKind::Match), visits);
+        assert_eq!(count(SpanKind::Deliver), deliveries);
+        assert_eq!(count(SpanKind::Drop), 0, "no false positives here");
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! counters, and the anti-entropy vs naive repair-traffic comparison.
 //! The CI chaos smoke job runs exactly this test binary.
 
+use std::sync::Arc;
+
 use subsum_broker::{ChaosConfig, ChaosReport, ChaosRun};
 use subsum_net::{CrashEvent, FaultPlan, LinkProfile, Topology};
+use subsum_telemetry::trace::Tracer;
 use subsum_types::{stock_schema, NumOp, Schema, StrOp, Subscription};
 
 /// The fixed scenario of the acceptance criteria: per-link drops and
@@ -104,6 +107,54 @@ fn anti_entropy_repair_traffic_beats_naive_full_resend() {
     );
     assert!(smart.stats.digest_bytes > 0);
     assert_eq!(naive.stats.digest_bytes, 0);
+}
+
+fn run_traced(seed: u64, trace_seed: u64, one_in: u64) -> (ChaosReport, String) {
+    let mut run = populated_run(stormy_plan(seed), ChaosConfig::default());
+    run.set_tracer(Arc::new(Tracer::new(13, 4096, trace_seed, one_in)));
+    let report = run.run().unwrap();
+    let json = run.tracer().unwrap().chrome_trace_string();
+    (report, json)
+}
+
+#[test]
+fn sampled_traced_runs_are_replay_exact_and_do_not_perturb_the_run() {
+    // Acceptance: two identical chaos runs at 1-in-64 sampling export
+    // byte-identical Chrome traces, and tracing never perturbs the
+    // simulation itself.
+    let (report_a, json_a) = run_traced(0xCAFE, 0x77ACE, 64);
+    let (report_b, json_b) = run_traced(0xCAFE, 0x77ACE, 64);
+    assert_eq!(json_a, json_b, "same seed must export identical traces");
+    assert_eq!(report_a, report_b);
+
+    let untraced = populated_run(stormy_plan(0xCAFE), ChaosConfig::default())
+        .run()
+        .unwrap();
+    assert_eq!(
+        report_a.stats, untraced.stats,
+        "tracing must not change fault or repair behavior"
+    );
+    assert_eq!(report_a.converged_at, untraced.converged_at);
+}
+
+#[test]
+fn always_on_tracing_captures_spans_and_crash_snapshots() {
+    let (report, json) = run_traced(0x5EED, 1, 1);
+    assert!(report.converged);
+    assert!(
+        json.contains("\"traceEvents\""),
+        "chrome export must be well-formed"
+    );
+    // The crash of broker 4 snapshots its flight recorder into the report.
+    let snap = report
+        .crash_snapshots
+        .iter()
+        .find(|(b, _)| *b == 4)
+        .expect("crash snapshot for broker 4");
+    assert!(
+        !snap.1.is_empty(),
+        "the hub participates in the update waves before crashing"
+    );
 }
 
 #[test]

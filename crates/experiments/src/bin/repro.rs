@@ -1,9 +1,14 @@
 //! Regenerates the paper's tables and figures from the command line.
 //!
 //! ```text
-//! repro [--fast] [--csv] [--out DIR] [--telemetry-json FILE]
-//!       [fig8|fig9|fig10|fig11|compute|analysis|vdeg|subsumption|filter|latency|scaling|all]
+//! repro [--fast] [--csv] [--out DIR] [--telemetry-json FILE] [--trace-json FILE]
+//!       [fig8|fig9|fig10|fig11|compute|analysis|vdeg|subsumption|filter|latency|scaling|recovery|traces|all]
 //! ```
+//!
+//! With `--trace-json FILE`, the backbone publish scenario is replayed
+//! with the causal tracer always on and its flight-recorder contents
+//! are exported as Chrome `trace_event` JSON — load the file in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! With `--telemetry-json FILE`, the global telemetry recorder is
 //! switched on for the run; afterwards a [`RunReport`] — per-stage
@@ -16,7 +21,7 @@
 
 use subsum_experiments::{
     ablations, analysis, compute, fig10, fig11, fig8, fig9, latency, recovery, scaling,
-    telemetry_probe,
+    telemetry_probe, traces,
 };
 use subsum_experiments::{ExperimentConfig, ResultTable};
 use subsum_telemetry::RunReport;
@@ -26,6 +31,7 @@ struct Args {
     csv: bool,
     out_dir: Option<String>,
     telemetry_json: Option<String>,
+    trace_json: Option<String>,
     what: String,
 }
 
@@ -35,6 +41,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         csv: false,
         out_dir: None,
         telemetry_json: None,
+        trace_json: None,
         what: "all".to_owned(),
     };
     let mut what: Option<String> = None;
@@ -56,6 +63,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.telemetry_json = Some(
                     argv.get(i)
                         .ok_or_else(|| "--telemetry-json requires a file path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--trace-json" => {
+                i += 1;
+                args.trace_json = Some(
+                    argv.get(i)
+                        .ok_or_else(|| "--trace-json requires a file path".to_owned())?
                         .clone(),
                 );
             }
@@ -84,7 +99,8 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: repro [--fast] [--csv] [--out DIR] [--telemetry-json FILE] [EXPERIMENT]"
+                "usage: repro [--fast] [--csv] [--out DIR] [--telemetry-json FILE] \
+                 [--trace-json FILE] [EXPERIMENT]"
             );
             std::process::exit(2);
         }
@@ -114,11 +130,12 @@ fn main() {
         "latency" => vec![latency::run(&cfg)],
         "scaling" => vec![scaling::run(&cfg)],
         "recovery" => vec![recovery::run(&cfg)],
+        "traces" => vec![traces::run(&cfg), traces::run_overhead(&cfg)],
         "all" => subsum_experiments::run_all(&cfg),
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of fig8 fig9 fig10 fig11 \
-                 compute analysis vdeg subsumption filter latency scaling recovery all"
+                 compute analysis vdeg subsumption filter latency scaling recovery traces all"
             );
             std::process::exit(2);
         }
@@ -145,6 +162,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = &args.trace_json {
+        let json = traces::export_chrome(&cfg);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: {} bytes of Chrome trace_event JSON -> {path}",
+            json.len()
+        );
     }
 
     if let Some(path) = &args.telemetry_json {

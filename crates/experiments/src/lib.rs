@@ -16,6 +16,7 @@
 //! | [`latency`] | beyond the paper | delivery latency: sequential BROCLI vs parallel flood |
 //! | [`telemetry_probe`] | beyond the paper | deterministic stage-coverage run for `repro --telemetry-json` |
 //! | [`recovery`] | beyond the paper | crash/recovery convergence; anti-entropy vs naive repair traffic |
+//! | [`traces`] | beyond the paper | causal-trace latency attribution; tracing overhead |
 //!
 //! All experiments are deterministic under [`ExperimentConfig::seed`].
 //!
@@ -44,6 +45,7 @@ pub mod latency;
 pub mod recovery;
 pub mod scaling;
 pub mod telemetry_probe;
+pub mod traces;
 
 pub use common::{mean, stddev, ResultTable};
 pub use config::ExperimentConfig;
@@ -64,5 +66,7 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ResultTable> {
         latency::run(cfg),
         scaling::run(cfg),
         recovery::run(cfg),
+        traces::run(cfg),
+        traces::run_overhead(cfg),
     ]
 }

@@ -27,7 +27,9 @@ use crate::config::ExperimentConfig;
 /// summaries repeatedly).
 const SUBS_PER_BROKER: usize = 4;
 
-fn scenario_plan(cfg: &ExperimentConfig) -> FaultPlan {
+/// The shared crash/recovery fault plan (also replayed by the traces
+/// experiment for latency attribution under faults).
+pub(crate) fn scenario_plan(cfg: &ExperimentConfig) -> FaultPlan {
     let mut plan = FaultPlan::reliable(cfg.seed);
     plan.default_link = LinkProfile {
         drop: 0.15,

@@ -24,6 +24,9 @@
 //! decision so two runs with one seed are byte-for-byte comparable.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use subsum_telemetry::trace::{SpanKind, TraceCtx, Tracer};
 
 use crate::sim::EventQueue;
 use crate::topology::NodeId;
@@ -277,6 +280,20 @@ pub struct FaultStats {
     pub duplicated: u64,
 }
 
+impl FaultStats {
+    /// Sums counters from another run segment (e.g. per-broker or
+    /// per-period stats folded into a run total). Field-wise addition,
+    /// so merging is associative and commutative.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.offered += other.offered;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.link_dropped += other.link_dropped;
+        self.crash_dropped += other.crash_dropped;
+        self.duplicated += other.duplicated;
+    }
+}
+
 /// One in-flight message of a [`LossyNet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope<M> {
@@ -287,6 +304,10 @@ pub struct Envelope<M> {
     /// Whether this is a control event exempt from the fault plan
     /// (scheduled by the simulation driver, not broker traffic).
     pub control: bool,
+    /// Causal trace context carried alongside the payload. Runtime
+    /// metadata only: it never enters the wire codec, so encoded bytes
+    /// are identical with tracing on or off.
+    pub trace: TraceCtx,
     /// The message.
     pub payload: M,
 }
@@ -310,6 +331,9 @@ pub struct LossyNet<M> {
     /// Per-directed-link sequence counters feeding [`FaultPlan::decide`].
     seq: BTreeMap<(NodeId, NodeId), u64>,
     stats: FaultStats,
+    /// Optional causal tracer; `None` means every trace hook is a no-op
+    /// and sends behave exactly as before tracing existed.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<M: Clone> LossyNet<M> {
@@ -320,7 +344,20 @@ impl<M: Clone> LossyNet<M> {
             plan,
             seq: BTreeMap::new(),
             stats: FaultStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a causal tracer: subsequent sends and pops record
+    /// enqueue/dequeue/drop/dup spans into its per-broker flight
+    /// recorders. Fault decisions are unaffected.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The governing fault plan.
@@ -346,9 +383,21 @@ impl<M: Clone> LossyNet<M> {
     /// Offers a broker message on link `from → to` with base transit
     /// `delay`; the plan decides drop, duplication and extra delay.
     pub fn send(&mut self, from: NodeId, to: NodeId, delay: u64, payload: M) {
+        self.send_traced(from, to, delay, TraceCtx::NONE, payload);
+    }
+
+    /// [`LossyNet::send`] carrying a causal trace context: fault
+    /// decisions are byte-identical to the untraced path, but if a
+    /// tracer is attached the fate of the message is recorded — a drop
+    /// span on link/fault loss, an enqueue span for the delivered copy,
+    /// a dup span per extra copy — and each in-flight envelope's parent
+    /// is re-pointed at its own enqueue span so receivers chain
+    /// causally.
+    pub fn send_traced(&mut self, from: NodeId, to: NodeId, delay: u64, ctx: TraceCtx, payload: M) {
         self.stats.offered += 1;
         if !self.plan.link_up(self.now(), from, to) {
             self.stats.link_dropped += 1;
+            self.record(ctx, from, SpanKind::Drop);
             return;
         }
         let seq = self.seq.entry((from, to)).or_insert(0);
@@ -356,16 +405,27 @@ impl<M: Clone> LossyNet<M> {
         *seq += 1;
         if decision.copies.is_empty() {
             self.stats.dropped += 1;
+            self.record(ctx, from, SpanKind::Drop);
             return;
         }
         self.stats.duplicated += decision.copies.len() as u64 - 1;
-        for extra in decision.copies {
+        for (i, extra) in decision.copies.into_iter().enumerate() {
+            let kind = if i == 0 {
+                SpanKind::Enqueue
+            } else {
+                SpanKind::Dup
+            };
+            let span = self.record(ctx, from, kind);
             self.queue.push_after(
                 delay.saturating_add(extra),
                 Envelope {
                     from,
                     to,
                     control: false,
+                    trace: TraceCtx {
+                        trace: ctx.trace,
+                        parent: span,
+                    },
                     payload: payload.clone(),
                 },
             );
@@ -376,12 +436,18 @@ impl<M: Clone> LossyNet<M> {
     /// exempt from the fault plan (crash/restart/timer events must fire
     /// even on a dead broker or severed link).
     pub fn schedule(&mut self, broker: NodeId, delay: u64, payload: M) {
+        self.schedule_traced(broker, delay, TraceCtx::NONE, payload);
+    }
+
+    /// [`LossyNet::schedule`] carrying a causal trace context.
+    pub fn schedule_traced(&mut self, broker: NodeId, delay: u64, ctx: TraceCtx, payload: M) {
         self.queue.push_after(
             delay,
             Envelope {
                 from: broker,
                 to: broker,
                 control: true,
+                trace: ctx,
                 payload,
             },
         );
@@ -389,19 +455,36 @@ impl<M: Clone> LossyNet<M> {
 
     /// Pops the next deliverable envelope, advancing the clock. Broker
     /// messages addressed to a crashed receiver are consumed and counted
-    /// as `crash_dropped`, never returned.
+    /// as `crash_dropped`, never returned. With a tracer attached, a
+    /// crash loss records a crash-drop span at the dead receiver and a
+    /// delivery records a dequeue span the returned envelope's parent is
+    /// re-pointed at.
     pub fn pop(&mut self) -> Option<(u64, Envelope<M>)> {
-        while let Some((time, env)) = self.queue.pop() {
+        while let Some((time, mut env)) = self.queue.pop() {
             if !env.control && self.plan.crashed(time, env.to) {
                 self.stats.crash_dropped += 1;
+                self.record(env.trace, env.to, SpanKind::CrashDrop);
                 continue;
             }
             if !env.control {
                 self.stats.delivered += 1;
             }
+            let span = self.record(env.trace, env.to, SpanKind::Dequeue);
+            if span != 0 {
+                env.trace.parent = span;
+            }
             return Some((time, env));
         }
         None
+    }
+
+    /// Records one span at the current simulation time, if a tracer is
+    /// attached; returns 0 otherwise (the "no span" parent sentinel).
+    fn record(&self, ctx: TraceCtx, broker: NodeId, kind: SpanKind) -> u32 {
+        match &self.tracer {
+            Some(t) => t.record_ctx(ctx, broker, kind, self.queue.now()),
+            None => 0,
+        }
     }
 }
 
@@ -532,6 +615,138 @@ mod tests {
         assert_eq!((t, env.payload, env.control), (6, "control", true));
         assert_eq!(net.pop(), None);
         assert_eq!(net.stats().crash_dropped, 1);
+    }
+
+    #[test]
+    fn fault_stats_merge_sums_fieldwise_and_default_is_identity() {
+        let a = FaultStats {
+            offered: 10,
+            delivered: 7,
+            dropped: 1,
+            link_dropped: 1,
+            crash_dropped: 1,
+            duplicated: 2,
+        };
+        let b = FaultStats {
+            offered: 5,
+            delivered: 5,
+            dropped: 0,
+            link_dropped: 0,
+            crash_dropped: 0,
+            duplicated: 1,
+        };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(
+            sum,
+            FaultStats {
+                offered: 15,
+                delivered: 12,
+                dropped: 1,
+                link_dropped: 1,
+                crash_dropped: 1,
+                duplicated: 3,
+            }
+        );
+        // Identity and commutativity.
+        let mut id = a;
+        id.merge(&FaultStats::default());
+        assert_eq!(id, a);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ba, sum);
+    }
+
+    #[test]
+    fn tracer_records_enqueue_and_dequeue_without_perturbing_faults() {
+        use std::sync::Arc;
+        use subsum_telemetry::trace::Tracer;
+
+        let mut plan = FaultPlan::reliable(0xFA57);
+        plan.default_link = LinkProfile {
+            drop: 0.2,
+            duplicate: 0.2,
+            max_extra_delay: 4,
+        };
+
+        // Baseline run without a tracer.
+        let mut plain: LossyNet<u64> = LossyNet::new(plan.clone());
+        for i in 0..100 {
+            plain.send((i % 4) as NodeId, ((i + 1) % 4) as NodeId, 1, i);
+        }
+        let mut plain_order = Vec::new();
+        while let Some((t, env)) = plain.pop() {
+            plain_order.push((t, env.from, env.to, env.payload));
+        }
+
+        // Traced run: every message gets its own sampled trace.
+        let tracer = Arc::new(Tracer::new(4, 1024, 7, 1));
+        let mut traced: LossyNet<u64> = LossyNet::new(plan);
+        traced.set_tracer(Arc::clone(&tracer));
+        for i in 0..100 {
+            let ctx = tracer.new_root();
+            traced.send_traced((i % 4) as NodeId, ((i + 1) % 4) as NodeId, 1, ctx, i);
+        }
+        let mut traced_order = Vec::new();
+        while let Some((t, env)) = traced.pop() {
+            assert!(env.trace.trace.is_traced());
+            assert_ne!(env.trace.parent, 0, "parent re-pointed at dequeue span");
+            traced_order.push((t, env.from, env.to, env.payload));
+        }
+
+        assert_eq!(
+            plain.stats(),
+            traced.stats(),
+            "tracing must not perturb faults"
+        );
+        assert_eq!(plain_order, traced_order);
+
+        let spans = tracer.spans();
+        let count = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count() as u64;
+        let stats = traced.stats();
+        assert_eq!(
+            count(SpanKind::Enqueue),
+            stats.offered - stats.dropped - stats.link_dropped
+        );
+        assert_eq!(count(SpanKind::Drop), stats.dropped + stats.link_dropped);
+        assert_eq!(count(SpanKind::Dup), stats.duplicated);
+        assert_eq!(count(SpanKind::Dequeue), stats.delivered);
+    }
+
+    #[test]
+    fn tracer_records_crash_drop_at_the_dead_receiver() {
+        use std::sync::Arc;
+        use subsum_telemetry::trace::Tracer;
+
+        let mut plan = FaultPlan::reliable(4);
+        plan.crashes.push(CrashEvent {
+            broker: 1,
+            at: 0,
+            restart_at: 100,
+        });
+        let tracer = Arc::new(Tracer::new(2, 64, 1, 1));
+        let mut net: LossyNet<&str> = LossyNet::new(plan);
+        net.set_tracer(Arc::clone(&tracer));
+        net.send_traced(0, 1, 5, tracer.new_root(), "lost");
+        assert_eq!(net.pop(), None);
+        let spans = tracer.spans();
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == SpanKind::CrashDrop && s.broker == 1));
+    }
+
+    #[test]
+    fn untraced_context_records_no_spans() {
+        use std::sync::Arc;
+        use subsum_telemetry::trace::Tracer;
+
+        let tracer = Arc::new(Tracer::new(2, 64, 1, 1));
+        let mut net: LossyNet<u8> = LossyNet::new(FaultPlan::reliable(1));
+        net.set_tracer(Arc::clone(&tracer));
+        net.send(0, 1, 1, 42);
+        let (_, env) = net.pop().unwrap();
+        assert_eq!(env.trace, TraceCtx::NONE);
+        assert!(tracer.spans().is_empty());
     }
 
     #[test]

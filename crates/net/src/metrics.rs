@@ -141,6 +141,59 @@ mod tests {
     }
 
     #[test]
+    fn merge_disjoint_broker_sets_is_a_union() {
+        // Segments whose active brokers never overlap: the merge is the
+        // disjoint union of the per-broker vectors.
+        let mut a = NetMetrics::new(4);
+        a.record(0, 1, 10, 1);
+        let mut b = NetMetrics::new(4);
+        b.record(2, 3, 20, 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.sent_per_broker, vec![1, 0, 1, 0]);
+        assert_eq!(ab.received_per_broker, vec![0, 1, 0, 1]);
+        assert_eq!(ab.bytes_per_broker, vec![10, 0, 20, 0]);
+        // Commutative on disjoint segments.
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ba, ab);
+    }
+
+    #[test]
+    fn merge_overlapping_broker_sets_sums_shared_brokers() {
+        let mut a = NetMetrics::new(3);
+        a.record(0, 1, 10, 1);
+        a.record(1, 2, 5, 1);
+        let mut b = NetMetrics::new(3);
+        b.record(1, 0, 20, 2);
+        a.merge(&b);
+        assert_eq!(a.sent_per_broker, vec![1, 2, 0]);
+        assert_eq!(a.received_per_broker, vec![1, 1, 1]);
+        assert_eq!(a.bytes_per_broker, vec![10, 25, 0]);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.payload_bytes, 35);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_remerge_adds_again() {
+        let mut a = NetMetrics::new(2);
+        a.record(0, 1, 10, 1);
+        let before = a.clone();
+        a.merge(&NetMetrics::new(2));
+        assert_eq!(a, before, "merging an empty segment changes nothing");
+        a.merge(&NetMetrics::new(0));
+        assert_eq!(a, before, "zero-broker segment changes nothing");
+        // Counters are additive, not idempotent: re-merging the same
+        // segment doubles it. Guard that explicitly so callers fold each
+        // segment exactly once.
+        let mut twice = before.clone();
+        twice.merge(&before);
+        assert_eq!(twice.messages, 2 * before.messages);
+        assert_eq!(twice.payload_bytes, 2 * before.payload_bytes);
+        assert_eq!(twice.sent_per_broker, vec![2, 0]);
+    }
+
+    #[test]
     fn merge_mismatched_sizes_grows_to_larger_population() {
         let mut a = NetMetrics::new(2);
         a.record(0, 1, 10, 1);

@@ -161,6 +161,17 @@ impl Snapshot {
         self.max
     }
 
+    /// The 99.9th percentile — [`Snapshot::percentile`] at `q = 0.999`.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// The largest recorded sample (accessor form of the `max` field;
+    /// 0 when empty). `percentile(1.0)` equals this by construction.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// The arithmetic mean, 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -216,6 +227,25 @@ mod tests {
         // bucket upper 63).
         assert_eq!(p50, 63);
         assert_eq!((s.mean() * 2.0).round() as u64, 101);
+    }
+
+    #[test]
+    fn percentile_one_returns_top_recorded_value_not_bucket_overshoot() {
+        // Regression: the log-bucket upper bound of the last occupied
+        // bucket can exceed the true maximum (e.g. 100 lives in the
+        // bucket whose upper bound is 127). percentile(1.0) must clamp
+        // to the recorded max, not the bucket bound.
+        let h = Histogram::new();
+        for v in [3u64, 40, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.percentile(1.0), s.max());
+        assert_eq!(s.max(), s.max);
+        // p999 sits between p99 and max and never overshoots either.
+        assert!(s.percentile(0.99) <= s.p999());
+        assert!(s.p999() <= s.max());
     }
 
     #[test]

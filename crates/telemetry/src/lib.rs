@@ -15,7 +15,10 @@
 //! * **RAII span timers** for named pipeline stages ([`Stage`],
 //!   [`SpanTimer`]);
 //! * a serializable [`RunReport`] bundling stage timings, counters and
-//!   embedded documents (e.g. `NetMetrics`) into one JSON object.
+//!   embedded documents (e.g. `NetMetrics`) into one JSON object;
+//! * **causal tracing** ([`trace`]): per-message trace ids, hop-scoped
+//!   span records, per-broker ring-buffer flight recorders with
+//!   deterministic 1-in-N sampling, and Chrome `trace_event` export.
 //!
 //! # Cost model
 //!
@@ -65,6 +68,7 @@ mod hist;
 pub mod names;
 mod recorder;
 mod report;
+pub mod trace;
 
 pub use hist::{Histogram, Snapshot, NUM_BUCKETS};
 pub use recorder::{

@@ -78,6 +78,13 @@ pub const CHAOS_DIGEST_BYTES: &str = "chaos.digest_bytes";
 /// Bytes spent on full summary updates during chaos runs.
 pub const CHAOS_FULL_BYTES: &str = "chaos.full_summary_bytes";
 
+/// Spans recorded into flight recorders by the causal tracer.
+pub const TRACE_SPANS: &str = "trace.spans";
+/// Flight-recorder head-drops (oldest span overwritten by a new one).
+pub const TRACE_HEAD_DROPS: &str = "trace.head_drops";
+/// Trace ids selected by the deterministic 1-in-N sampler.
+pub const TRACE_SAMPLED: &str = "trace.sampled";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -112,6 +119,9 @@ mod tests {
             super::CHAOS_RESYNCS,
             super::CHAOS_DIGEST_BYTES,
             super::CHAOS_FULL_BYTES,
+            super::TRACE_SPANS,
+            super::TRACE_HEAD_DROPS,
+            super::TRACE_SAMPLED,
         ];
         let mut seen = std::collections::HashSet::new();
         for name in all {

@@ -179,6 +179,9 @@ pub struct StageReport {
     pub p90_ns: u64,
     /// 99th percentile.
     pub p99_ns: u64,
+    /// 99.9th percentile (absent in pre-trace reports; defaults to 0).
+    #[serde(default)]
+    pub p999_ns: u64,
     /// Largest recorded span.
     pub max_ns: u64,
     /// Smallest recorded span (0 when no span was recorded).
@@ -195,7 +198,8 @@ impl StageReport {
             p50_ns: s.percentile(0.50),
             p90_ns: s.percentile(0.90),
             p99_ns: s.percentile(0.99),
-            max_ns: s.max,
+            p999_ns: s.p999(),
+            max_ns: s.max(),
             min_ns: if s.count == 0 { 0 } else { s.min },
         }
     }
@@ -208,6 +212,7 @@ impl StageReport {
             ("p50_ns", Json::UInt(self.p50_ns)),
             ("p90_ns", Json::UInt(self.p90_ns)),
             ("p99_ns", Json::UInt(self.p99_ns)),
+            ("p999_ns", Json::UInt(self.p999_ns)),
             ("max_ns", Json::UInt(self.max_ns)),
             ("min_ns", Json::UInt(self.min_ns)),
         ])
@@ -434,6 +439,7 @@ mod tests {
         assert_eq!(r.count, 5);
         assert_eq!(r.total_ns, 1100);
         assert!(r.p50_ns <= r.p90_ns && r.p90_ns <= r.p99_ns && r.p99_ns <= r.max_ns);
+        assert!(r.p99_ns <= r.p999_ns && r.p999_ns <= r.max_ns);
         assert_eq!(r.max_ns, 1000);
         assert_eq!(r.min_ns, 10);
     }

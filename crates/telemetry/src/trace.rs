@@ -1,0 +1,576 @@
+//! Causal event tracing: trace ids, hop-scoped span records, and
+//! per-broker fixed-capacity **flight recorders**.
+//!
+//! Every published event and every control message can carry a
+//! [`TraceId`]; each hop it takes through the overlay appends a
+//! [`SpanRecord`] (broker, [`SpanKind`], deterministic sim-clock
+//! timestamp, parent span) to the flight recorder of the broker where
+//! the hop happened. The recorder is a lock-free ring buffer: when it
+//! fills, the *oldest* spans are overwritten (head-drop) and the drop is
+//! accounted, so a crash post-mortem always shows the most recent
+//! activity.
+//!
+//! # Sampling determinism
+//!
+//! Tracing every message would distort the very latencies being
+//! measured, so the [`Tracer`] samples **1-in-N trace ids**. The
+//! decision is a pure function of `(seed, trace id)` through the
+//! splitmix64 finalizer — the same discipline `subsum-net::FaultPlan`
+//! uses for fault decisions — so a run replays exactly under a fixed
+//! seed: two identical runs sample identical traces and export
+//! byte-identical Chrome traces.
+//!
+//! # Cost model
+//!
+//! Recording follows the recorder-wide rules: the unsampled path is one
+//! `mix64` of two registers and a compare — no clock read, no lock, no
+//! allocation — and the sampled path writes four relaxed atomics into a
+//! pre-allocated ring. Neither path allocates; the zero-alloc harness
+//! (`tests/zero_alloc.rs`) enforces this.
+//!
+//! # Export
+//!
+//! [`Tracer::chrome_trace_string`] renders the Chrome `trace_event` JSON
+//! format: load the file in [Perfetto](https://ui.perfetto.dev) or
+//! `chrome://tracing` to see per-broker tracks of every recorded hop.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::names;
+use crate::recorder::Count;
+use crate::report::Json;
+
+static CNT_SPANS: Count = Count::new(names::TRACE_SPANS);
+static CNT_HEAD_DROPS: Count = Count::new(names::TRACE_HEAD_DROPS);
+static CNT_SAMPLED: Count = Count::new(names::TRACE_SAMPLED);
+
+/// The 64-bit splitmix finalizer (same mixer as `subsum-net::mix64`,
+/// duplicated here because this crate must stay dependency-free).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Identity of one causal trace: a published event or an originated
+/// control message and everything it transitively caused.
+///
+/// `TraceId(0)` is reserved as [`TraceId::NONE`] — "untraced".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The untraced sentinel: spans with this id are never recorded.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Whether this is a real trace (not the sentinel).
+    #[inline]
+    pub fn is_traced(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Trace context carried on in-flight messages: the trace the message
+/// belongs to plus the span that caused it.
+///
+/// This is **runtime metadata only** — it rides on the in-memory
+/// envelope, never on the wire, so tracing cannot change encoded byte
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceCtx {
+    /// The causal trace this message belongs to.
+    pub trace: TraceId,
+    /// The span id of the hop that produced this message (0 = root).
+    pub parent: u32,
+}
+
+impl TraceCtx {
+    /// Untraced context: attached to messages when tracing is off.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: TraceId::NONE,
+        parent: 0,
+    };
+}
+
+/// What happened at one hop of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Message accepted onto a link by the network layer.
+    Enqueue = 0,
+    /// Message handed to the receiving broker.
+    Dequeue = 1,
+    /// Event examined by a broker on the routing path.
+    Route = 2,
+    /// Candidate matching against a merged summary.
+    Match = 3,
+    /// Tier-2 exact verification at the owning broker.
+    OwnerVerify = 4,
+    /// Confirmed delivery to a subscriber's broker.
+    Deliver = 5,
+    /// Message lost (link fault, cut link, or partition).
+    Drop = 6,
+    /// Duplicate copy injected by the fault plan.
+    Dup = 7,
+    /// Message lost because the receiving broker was down.
+    CrashDrop = 8,
+}
+
+impl SpanKind {
+    /// Stable lowercase name, used by the Chrome trace export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Enqueue => "enqueue",
+            SpanKind::Dequeue => "dequeue",
+            SpanKind::Route => "route",
+            SpanKind::Match => "match",
+            SpanKind::OwnerVerify => "owner_verify",
+            SpanKind::Deliver => "deliver",
+            SpanKind::Drop => "drop",
+            SpanKind::Dup => "dup",
+            SpanKind::CrashDrop => "crash_drop",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::Enqueue,
+            1 => SpanKind::Dequeue,
+            2 => SpanKind::Route,
+            3 => SpanKind::Match,
+            4 => SpanKind::OwnerVerify,
+            5 => SpanKind::Deliver,
+            6 => SpanKind::Drop,
+            7 => SpanKind::Dup,
+            8 => SpanKind::CrashDrop,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded hop of a causal trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id (unique per [`Tracer`], starting at 1).
+    pub span: u32,
+    /// The id of the causally preceding span (0 = trace root).
+    pub parent: u32,
+    /// The broker where the hop happened.
+    pub broker: u16,
+    /// What the hop did.
+    pub kind: SpanKind,
+    /// Deterministic sim-clock timestamp (ticks).
+    pub at: u64,
+}
+
+/// A fixed-capacity lock-free ring buffer of [`SpanRecord`]s.
+///
+/// Each slot is four relaxed `AtomicU64` words; a monotone write cursor
+/// wraps modulo the capacity, so once full the recorder **head-drops**:
+/// the oldest span is overwritten and [`FlightRecorder::dropped`]
+/// grows. Pushing never allocates and never blocks.
+///
+/// [`FlightRecorder::snapshot`] decodes the live window oldest-first.
+/// It is designed for quiescent points (end of a deterministic run, or
+/// the instant a simulated crash fires); a snapshot raced against
+/// concurrent pushes may observe torn slots, which are skipped rather
+/// than misdecoded.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    words: Vec<AtomicU64>,
+    capacity: usize,
+    written: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding up to `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        let mut words = Vec::with_capacity(capacity * 4);
+        for _ in 0..capacity * 4 {
+            words.push(AtomicU64::new(0));
+        }
+        FlightRecorder {
+            words,
+            capacity,
+            written: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total spans ever pushed (including overwritten ones).
+    pub fn written(&self) -> u64 {
+        self.written.load(Relaxed)
+    }
+
+    /// Spans lost to head-drop (oldest-first overwrites).
+    pub fn dropped(&self) -> u64 {
+        self.written().saturating_sub(self.capacity as u64)
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.written().min(self.capacity as u64) as usize
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.written() == 0
+    }
+
+    /// Pushes one span, overwriting the oldest slot when full. Returns
+    /// `true` if an old span was overwritten. Never allocates.
+    pub fn push(&self, rec: SpanRecord) -> bool {
+        let n = self.written.fetch_add(1, Relaxed);
+        let slot = (n % self.capacity as u64) as usize * 4;
+        self.words[slot].store(rec.trace.0, Relaxed);
+        self.words[slot + 1].store(rec.at, Relaxed);
+        self.words[slot + 2].store(u64::from(rec.span) << 32 | u64::from(rec.parent), Relaxed);
+        self.words[slot + 3].store(u64::from(rec.broker) << 8 | rec.kind as u64, Relaxed);
+        n >= self.capacity as u64
+    }
+
+    /// Decodes the live window, oldest span first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let written = self.written();
+        let len = written.min(self.capacity as u64) as usize;
+        let start = if written <= self.capacity as u64 {
+            0
+        } else {
+            (written % self.capacity as u64) as usize
+        };
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let slot = (start + i) % self.capacity * 4;
+            let trace = TraceId(self.words[slot].load(Relaxed));
+            let at = self.words[slot + 1].load(Relaxed);
+            let ids = self.words[slot + 2].load(Relaxed);
+            let meta = self.words[slot + 3].load(Relaxed);
+            let Some(kind) = SpanKind::from_u8((meta & 0xFF) as u8) else {
+                continue; // torn slot under a racing push
+            };
+            if !trace.is_traced() {
+                continue; // slot not fully written yet
+            }
+            out.push(SpanRecord {
+                trace,
+                span: (ids >> 32) as u32,
+                parent: (ids & 0xFFFF_FFFF) as u32,
+                broker: (meta >> 8) as u16,
+                kind,
+                at,
+            });
+        }
+        out
+    }
+}
+
+/// The tracing front-end: allocates trace/span ids, makes the
+/// deterministic sampling decision, and fans spans out to per-broker
+/// [`FlightRecorder`]s.
+///
+/// A `Tracer` is shared behind an `Arc` by the network and broker
+/// layers. When no tracer is attached at all, the product code pays a
+/// single `Option` test per message — that is the "disabled" path the
+/// overhead benchmark measures.
+#[derive(Debug)]
+pub struct Tracer {
+    seed: u64,
+    sample_one_in: u64,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    recorders: Vec<FlightRecorder>,
+}
+
+impl Tracer {
+    /// Creates a tracer for `brokers` brokers, each with a recorder of
+    /// `capacity` spans, sampling one in `sample_one_in` trace ids
+    /// (clamped to ≥ 1; 1 = trace everything) under `seed`.
+    pub fn new(brokers: usize, capacity: usize, seed: u64, sample_one_in: u64) -> Tracer {
+        Tracer {
+            seed,
+            sample_one_in: sample_one_in.max(1),
+            next_trace: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            recorders: (0..brokers)
+                .map(|_| FlightRecorder::new(capacity))
+                .collect(),
+        }
+    }
+
+    /// The sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sampling rate: one in this many trace ids is recorded.
+    pub fn sample_one_in(&self) -> u64 {
+        self.sample_one_in
+    }
+
+    /// Deterministic sampling decision for a trace id: a pure function
+    /// of `(seed, id)`, so replays under a fixed seed sample the exact
+    /// same traces. [`TraceId::NONE`] is never sampled.
+    #[inline]
+    pub fn sampled(&self, trace: TraceId) -> bool {
+        trace.is_traced() && mix64(self.seed ^ trace.0) % self.sample_one_in == 0
+    }
+
+    /// Allocates a fresh trace id (ids start at 1; 0 stays the
+    /// untraced sentinel).
+    pub fn new_trace(&self) -> TraceId {
+        let id = TraceId(self.next_trace.fetch_add(1, Relaxed) + 1);
+        if self.sampled(id) {
+            CNT_SAMPLED.add(1);
+        }
+        id
+    }
+
+    /// Allocates a fresh root trace context for an originated message.
+    pub fn new_root(&self) -> TraceCtx {
+        TraceCtx {
+            trace: self.new_trace(),
+            parent: 0,
+        }
+    }
+
+    /// Records one hop if its trace is sampled and `broker` is in
+    /// range. Returns the new span id, or 0 when nothing was recorded.
+    /// Never allocates on either path.
+    pub fn record(&self, trace: TraceId, parent: u32, broker: u16, kind: SpanKind, at: u64) -> u32 {
+        if !self.sampled(trace) {
+            return 0;
+        }
+        let Some(rec) = self.recorders.get(broker as usize) else {
+            return 0;
+        };
+        let span = (self.next_span.fetch_add(1, Relaxed) + 1) as u32;
+        let overwrote = rec.push(SpanRecord {
+            trace,
+            span,
+            parent,
+            broker,
+            kind,
+            at,
+        });
+        CNT_SPANS.add(1);
+        if overwrote {
+            CNT_HEAD_DROPS.add(1);
+        }
+        span
+    }
+
+    /// [`Tracer::record`] with the trace and parent taken from a
+    /// message's [`TraceCtx`].
+    pub fn record_ctx(&self, ctx: TraceCtx, broker: u16, kind: SpanKind, at: u64) -> u32 {
+        self.record(ctx.trace, ctx.parent, broker, kind, at)
+    }
+
+    /// The flight recorder of one broker.
+    pub fn recorder(&self, broker: u16) -> Option<&FlightRecorder> {
+        self.recorders.get(broker as usize)
+    }
+
+    /// Number of per-broker recorders.
+    pub fn brokers(&self) -> usize {
+        self.recorders.len()
+    }
+
+    /// Total spans lost to head-drop across all recorders.
+    pub fn head_drops(&self) -> u64 {
+        self.recorders.iter().map(FlightRecorder::dropped).sum()
+    }
+
+    /// Every live span, grouped by broker (ascending), oldest-first
+    /// within each broker — the deterministic export order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for rec in &self.recorders {
+            out.extend(rec.snapshot());
+        }
+        out
+    }
+
+    /// Renders the recorded spans as Chrome `trace_event` JSON.
+    pub fn chrome_trace(&self) -> Json {
+        chrome_trace(&self.spans())
+    }
+
+    /// [`Tracer::chrome_trace`] serialized to a string. The output is a
+    /// pure function of the recorded spans, so two identical seeded
+    /// runs produce byte-identical files.
+    pub fn chrome_trace_string(&self) -> String {
+        self.chrome_trace().to_json_string()
+    }
+}
+
+/// Builds a Chrome `trace_event` JSON document from span records.
+///
+/// Each span becomes an instant event: `pid` is the broker (one track
+/// per broker in Perfetto), `tid` is the trace id (hops of one event
+/// line up on one row), `ts` is the sim-clock tick, and `args` carries
+/// the span/parent ids for causal reconstruction.
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::Str(s.kind.as_str().to_string())),
+                ("ph", Json::Str("i".to_string())),
+                ("s", Json::Str("t".to_string())),
+                ("ts", Json::UInt(s.at)),
+                ("pid", Json::UInt(u64::from(s.broker))),
+                ("tid", Json::UInt(s.trace.0)),
+                (
+                    "args",
+                    Json::obj([
+                        ("span", Json::UInt(u64::from(s.span))),
+                        ("parent", Json::UInt(u64::from(s.parent))),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+        ("traceEvents", Json::Arr(events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, span: u32, at: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(trace),
+            span,
+            parent: span.saturating_sub(1),
+            broker: 3,
+            kind: SpanKind::Route,
+            at,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_accounts_head_drops() {
+        let rec = FlightRecorder::new(4);
+        assert!(rec.is_empty());
+        for i in 0..6u64 {
+            rec.push(span(1, i as u32 + 1, i));
+        }
+        assert_eq!(rec.written(), 6);
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 2);
+        let snap = rec.snapshot();
+        // Oldest-first window over the newest four pushes.
+        assert_eq!(snap.iter().map(|s| s.at).collect::<Vec<_>>(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn snapshot_before_wrap_is_in_push_order() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..3u64 {
+            assert!(!rec.push(span(7, i as u32 + 1, i * 10)));
+        }
+        assert_eq!(rec.dropped(), 0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].at, 0);
+        assert_eq!(snap[2].at, 20);
+        assert_eq!(snap[1].trace, TraceId(7));
+        assert_eq!(snap[1].kind, SpanKind::Route);
+        assert_eq!(snap[1].broker, 3);
+    }
+
+    #[test]
+    fn span_fields_roundtrip_through_the_ring() {
+        let rec = FlightRecorder::new(2);
+        let s = SpanRecord {
+            trace: TraceId(0xDEAD_BEEF),
+            span: 0xFFFF_FFFF,
+            parent: 0x1234_5678,
+            broker: u16::MAX,
+            kind: SpanKind::CrashDrop,
+            at: u64::MAX,
+        };
+        rec.push(s);
+        assert_eq!(rec.snapshot(), vec![s]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_roughly_one_in_n() {
+        let a = Tracer::new(1, 8, 0x5EED, 64);
+        let b = Tracer::new(1, 8, 0x5EED, 64);
+        let hits: Vec<u64> = (1..=10_000u64).filter(|&i| a.sampled(TraceId(i))).collect();
+        for &i in &hits {
+            assert!(b.sampled(TraceId(i)), "same seed must sample identically");
+        }
+        // 10 000 ids at 1-in-64 ≈ 156 expected; allow a wide band.
+        assert!((50..=350).contains(&hits.len()), "got {}", hits.len());
+        // A different seed samples a different subset.
+        let c = Tracer::new(1, 8, 0xBAD, 64);
+        assert!(hits.iter().any(|&i| !c.sampled(TraceId(i))));
+    }
+
+    #[test]
+    fn sample_one_in_one_records_everything_and_none_is_never_sampled() {
+        let t = Tracer::new(2, 16, 9, 1);
+        assert!(!t.sampled(TraceId::NONE));
+        for _ in 0..10 {
+            let ctx = t.new_root();
+            assert!(t.sampled(ctx.trace));
+            assert_ne!(t.record_ctx(ctx, 1, SpanKind::Enqueue, 5), 0);
+        }
+        assert_eq!(t.recorder(1).map(FlightRecorder::len), Some(10));
+        assert_eq!(t.recorder(0).map(FlightRecorder::len), Some(0));
+        // Out-of-range broker records nothing.
+        assert_eq!(t.record(TraceId(1), 0, 99, SpanKind::Route, 0), 0);
+    }
+
+    #[test]
+    fn unsampled_traces_record_nothing() {
+        let t = Tracer::new(1, 16, 0, u64::MAX);
+        // With a 1-in-2^64 rate essentially nothing is sampled.
+        for i in 1..100u64 {
+            assert_eq!(t.record(TraceId(i), 0, 0, SpanKind::Route, i), 0);
+        }
+        assert!(t.recorder(0).is_some_and(FlightRecorder::is_empty));
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic_and_loadable_shape() {
+        let make = || {
+            let t = Tracer::new(2, 8, 42, 1);
+            let root = t.new_root();
+            let e = t.record_ctx(root, 0, SpanKind::Enqueue, 0);
+            let d = t.record(root.trace, e, 1, SpanKind::Dequeue, 3);
+            t.record(root.trace, d, 1, SpanKind::Deliver, 3);
+            t.chrome_trace_string()
+        };
+        let a = make();
+        assert_eq!(a, make(), "export must be byte-identical across runs");
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"deliver\""));
+        assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    fn span_kind_names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..=8u8 {
+            let kind = SpanKind::from_u8(k).expect("kind");
+            assert!(seen.insert(kind.as_str()));
+        }
+        assert!(SpanKind::from_u8(9).is_none());
+    }
+}

@@ -5,6 +5,9 @@ pub const APP_GOOD: &str = "app.good";
 pub const APP_OTHER: &str = "app.other";
 pub const APP_CHAOS_DROPS: &str = "chaos.drops";
 pub const APP_CHAOS_RESYNCS: &str = "chaos.resyncs";
+pub const APP_TRACE_SPANS: &str = "trace.spans";
+pub const APP_TRACE_HEAD_DROPS: &str = "trace.head_drops";
+pub const APP_TRACE_SAMPLED: &str = "trace.sampled";
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,19 @@
+//! Fixture call sites for the trace counter family: the registered
+//! `trace.*` names pass, exactly one unregistered one is seeded.
+
+static SPANS: Count = Count::new("trace.spans"); // registered literal: fine
+static HEAD_DROPS: Count = Count::new(names::APP_TRACE_HEAD_DROPS); // constant: fine
+static ROGUE: Count = Count::new("trace.unregistered"); // violation
+
+pub fn record() {
+    let c = counter("trace.sampled"); // registered literal: fine
+    let _ = (c, &SPANS, &HEAD_DROPS, &ROGUE);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_region_literals_are_exempt() {
+        let _ = Count::new("trace.test_only_name");
+    }
+}

@@ -509,6 +509,18 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_names_accepts_registered_trace_family() {
+        let mut cfg = empty_config(fixtures());
+        cfg.registry = Some(PathBuf::from("names_registry.rs"));
+        cfg.scan_files = vec![PathBuf::from("telemetry_trace.rs")];
+        let v = run_check(&cfg).unwrap();
+        // The registered `trace.*` literals, the constant reference and
+        // the test-region literal pass; only the seeded rogue fires.
+        assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
+        assert!(v[0].msg.contains("trace.unregistered"));
+    }
+
+    #[test]
     fn derived_state_flags_wire_reference() {
         let mut cfg = empty_config(fixtures());
         cfg.scan_files = vec![PathBuf::from("derived_struct.rs")];
