@@ -24,7 +24,10 @@ use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, SummaryCodec, SummaryStats};
+use subsum_core::{
+    ArithWidth, BrokerSummary, MatchScratch, ShardScratch, ShardedSummary, SummaryCodec,
+    SummaryStats,
+};
 use subsum_telemetry::{names, Json, RunReport};
 use subsum_types::{
     stock_schema, BrokerId, Event, IdLayout, LocalSubId, Schema, StrOp, Subscription,
@@ -41,6 +44,10 @@ const SACS_HEAVY_EVENTS: usize = 256;
 const DENSE_SUBS: usize = 8000;
 /// Events per measured pass in the dense-kernel scenario.
 const DENSE_EVENTS: usize = 256;
+/// Shards in the shard-scaling scenario.
+const SCALING_SHARDS: usize = 8;
+/// Worker-thread counts swept by the shard-scaling scenario.
+const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
@@ -369,6 +376,11 @@ fn emit_matching_report() {
 
     let report = Json::obj([
         ("name", Json::Str("bench.matching".to_string())),
+        ("machine", machine_json()),
+        (
+            "shard_scaling",
+            shard_scaling_json(&dense_summary, &dense_events, passes),
+        ),
         (
             "scenario",
             Json::obj([
@@ -454,6 +466,131 @@ fn emit_matching_report() {
         Ok(()) => eprintln!("matching report -> {}", path.display()),
         Err(e) => eprintln!("cannot write matching report {}: {e}", path.display()),
     }
+}
+
+/// Describes the machine the report was taken on, so scaling numbers can
+/// be read in context (a 1-core container cannot show an 8-worker
+/// speedup no matter how good the sharding is).
+fn machine_json() -> Json {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    Json::obj([
+        ("cores", Json::UInt(cores as u64)),
+        ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("os", Json::Str(std::env::consts::OS.to_string())),
+        ("commit", Json::Str(commit)),
+    ])
+}
+
+/// The shard-scaling scenario: the dense-kernel workload behind a
+/// [`ShardedSummary`] with [`SCALING_SHARDS`] shards, matched
+/// concurrently by 1/2/4/8 worker threads that each pin lock-free
+/// snapshots through their own [`ShardScratch`]. Reported per worker
+/// count: aggregate events/sec across all workers. An instrumented
+/// single-worker pass (with subscription churn racing it) contributes
+/// the shard fan-out, merge-time and snapshot counters.
+fn shard_scaling_json(flat: &BrokerSummary, events: &[Event], passes: usize) -> Json {
+    let sharded = ShardedSummary::from_flat(flat.clone(), SCALING_SHARDS);
+
+    // Warm one scratch shape so the per-worker warmup below is cheap.
+    let mut warm_scratch = ShardScratch::new();
+    let warm: usize = events
+        .iter()
+        .map(|e| sharded.match_event_into(e, &mut warm_scratch).matched.len())
+        .sum();
+    std::hint::black_box(warm);
+
+    let mut sweep = Vec::new();
+    for &workers in &SCALING_WORKERS {
+        let wall = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = ShardScratch::new();
+                    let mut total = 0usize;
+                    for _ in 0..passes {
+                        for e in events {
+                            total += sharded.match_event_into(e, &mut scratch).matched.len();
+                        }
+                    }
+                    std::hint::black_box(total);
+                });
+            }
+        });
+        let secs = wall.elapsed().as_secs_f64();
+        let matched = (workers * passes * events.len()) as f64;
+        sweep.push((
+            format!("workers_{workers}"),
+            Json::obj([
+                ("workers", Json::UInt(workers as u64)),
+                ("events_per_sec", Json::Num(matched / secs.max(1e-12))),
+            ]),
+        ));
+    }
+
+    // Instrumented pass: one matcher racing live churn, so the snapshot
+    // counters show actual pointer flips and deferred reclamations.
+    subsum_telemetry::set_enabled(true);
+    subsum_telemetry::reset();
+    let mut scratch = ShardScratch::new();
+    let schema = flat.schema().clone();
+    for (i, e) in events.iter().enumerate() {
+        std::hint::black_box(sharded.match_event_into(e, &mut scratch).matched.len());
+        if i % 8 == 0 {
+            let churn = Subscription::builder(&schema)
+                .num("num0", subsum_types::NumOp::Ge, 1.0e9)
+                .unwrap()
+                .build()
+                .unwrap();
+            let id = sharded.insert(BrokerId(15), LocalSubId(60_000 + i as u32), &churn);
+            sharded.remove(id);
+        }
+    }
+    subsum_telemetry::set_enabled(false);
+    let counters: std::collections::BTreeMap<String, u64> =
+        subsum_telemetry::counters_snapshot().into_iter().collect();
+    let counter = |name: &str| Json::UInt(counters.get(name).copied().unwrap_or(0));
+    let stats = sharded.snapshot_stats();
+
+    let mut fields = vec![
+        ("shards".to_string(), Json::UInt(SCALING_SHARDS as u64)),
+        ("events".to_string(), Json::UInt(events.len() as u64)),
+        ("passes".to_string(), Json::UInt(passes as u64)),
+    ];
+    fields.extend(sweep);
+    fields.push((
+        "instrumented_pass".to_string(),
+        Json::obj([
+            (
+                names::MATCH_SHARD_FANOUT,
+                counter(names::MATCH_SHARD_FANOUT),
+            ),
+            (
+                names::MATCH_SHARD_MERGE_NS,
+                counter(names::MATCH_SHARD_MERGE_NS),
+            ),
+            (
+                names::SUMMARY_SNAPSHOT_FLIPS,
+                counter(names::SUMMARY_SNAPSHOT_FLIPS),
+            ),
+            (
+                names::SUMMARY_DEFERRED_RECLAIMS,
+                counter(names::SUMMARY_DEFERRED_RECLAIMS),
+            ),
+            ("snapshot_flips_total", Json::UInt(stats.flips)),
+            ("limbo_after_pass", Json::UInt(stats.limbo as u64)),
+        ]),
+    ));
+    Json::obj(fields)
 }
 
 /// Measured passes over the event set: a single quick pass in CI smoke

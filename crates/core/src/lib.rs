@@ -47,13 +47,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the crate is safe code except for the
+// epoch-based snapshot reclamation in `snapshot`, which carries a
+// module-scoped `allow(unsafe_code)` and a written safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod aacs;
 mod digest;
 mod idlist;
 mod sacs;
+mod shard;
+mod snapshot;
 mod stats;
 mod summary;
 mod wire;
@@ -64,6 +69,8 @@ pub use digest::SummaryDigest;
 pub use idlist::validate_idlist;
 pub use idlist::{DenseId, IdList, SubIdList};
 pub use sacs::{PatternRow, PatternSummary, QueryCost};
+pub use shard::{ShardScratch, ShardedSummary};
+pub use snapshot::{SnapshotCell, SnapshotGuard, SnapshotReader, SnapshotStats};
 pub use stats::{SizeParams, SummaryStats};
 pub use summary::{BrokerSummary, MatchOutcome, MatchScratch, MatchStats};
 pub use wire::{ArithWidth, SummaryCodec, WireError};

@@ -1,0 +1,1192 @@
+//! Shard-per-core matching: a [`BrokerSummary`] partitioned by dense-id
+//! range behind lock-free snapshot reads.
+//!
+//! [`ShardedSummary`] keeps the canonical, wire-faithful summary (the
+//! *flat* [`BrokerSummary`]) behind a writer mutex and publishes a
+//! **derived** [`ShardSet`] through a [`SnapshotCell`]: `subscribe` /
+//! `unsubscribe` / `merge` mutate the flat summary, re-derive the shard
+//! partition off to the side, and flip it in with one pointer swap —
+//! matching never blocks, and matching threads never block a writer.
+//!
+//! # Shards are representation-free derived state
+//!
+//! Shard `k` owns the contiguous dense-id range `bounds[k] ..
+//! bounds[k+1]` (word-aligned so per-shard match bitmaps merge
+//! word-wise). Its rows are the *flat* summary's rows with posting
+//! lists restricted to the shard's range and rebased to shard-local
+//! ids. Because SACS row formation depends on insertion order (covering
+//! and absorption), shards are **never** built by re-inserting
+//! subscriptions — that could place an id under a different covering
+//! pattern than the flat build and change the candidate set. Splitting
+//! the flat rows instead guarantees, row by row:
+//!
+//! ```text
+//! matched(shard k) == matched(flat) ∩ [bounds[k], bounds[k+1])
+//! ```
+//!
+//! so the union over shards equals the flat kernel's output *exactly*
+//! (same ids, same false positives), and the wire format and digest are
+//! untouched — the codec encodes the flat summary, and a decoder
+//! rebuilds the partition from it, exactly like the intern table.
+//!
+//! # Per-shard kernel layout
+//!
+//! Per-shard AACS rows are laid out for cache-linear, branch-poor
+//! probing: the disjoint sorted sub-ranges become two flat `u64` key
+//! arrays (`lo_keys` / `hi_keys`, struct-of-arrays so a binary search
+//! touches one contiguous cache-dense array, and the final containment
+//! test is two unsigned compares with no `Interval` enum dispatch) plus
+//! a CSR posting array. Keys are the standard order-preserving
+//! transform of the IEEE-754 bits — `Num` excludes NaN and normalizes
+//! `-0.0`, so `num_key(a) <= num_key(b) ⟺ a <= b` — with
+//! open/closed bounds folded into the key (`Excl` lower bounds add one
+//! ulp-key, `Excl` upper bounds subtract one), so a row satisfies a
+//! value `v` iff `lo_key <= key(v) && key(v) <= hi_key`.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use subsum_telemetry::Count;
+use subsum_types::{Event, LowerBound, Num, Schema, Subscription, SubscriptionId, UpperBound};
+
+use crate::idlist::{idlist_range_slice, DenseId, IdList, SubIdList};
+use crate::snapshot::{SnapshotCell, SnapshotReader};
+use crate::summary::{BrokerSummary, MatchOutcome, MatchStats};
+use crate::{PatternSummary, RangeSummary, SummaryDigest};
+
+/// Per-shard kernel invocations (the fan-out width of sharded matching).
+static CNT_SHARD_FANOUT: Count = Count::new(subsum_telemetry::names::MATCH_SHARD_FANOUT);
+/// Nanoseconds spent merging per-shard bitmaps and extracting the
+/// sorted output.
+static CNT_SHARD_MERGE_NS: Count = Count::new(subsum_telemetry::names::MATCH_SHARD_MERGE_NS);
+
+/// The order-preserving `u64` key of a `Num`: sign-flipped IEEE-754
+/// bits. Total-order-isomorphic to `Num`'s `Ord` because `Num` excludes
+/// NaN and normalizes `-0.0` at construction.
+#[inline]
+fn num_key(v: Num) -> u64 {
+    let bits = v.get().to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// The smallest value key satisfying a lower bound. Keys are bijective
+/// with the non-NaN floats, so `Excl(x)` is exactly "the key after
+/// `x`"; `Excl(+inf)` saturates to an unsatisfiable key, which is the
+/// correct (empty) semantics.
+#[inline]
+fn lower_key(b: LowerBound) -> u64 {
+    match b {
+        LowerBound::NegInf => 0,
+        LowerBound::Incl(x) => num_key(x),
+        LowerBound::Excl(x) => num_key(x).saturating_add(1),
+    }
+}
+
+/// The largest value key satisfying an upper bound (mirror of
+/// [`lower_key`]).
+#[inline]
+fn upper_key(b: UpperBound) -> u64 {
+    match b {
+        UpperBound::PosInf => u64::MAX,
+        UpperBound::Incl(x) => num_key(x),
+        UpperBound::Excl(x) => num_key(x).saturating_sub(1),
+    }
+}
+
+/// One shard's AACS in the flat, probe-friendly layout: sorted key
+/// arrays over the disjoint sub-range rows plus CSR posting storage,
+/// and the same for the equality (AACS_E) rows.
+#[derive(Debug, Clone, Default)]
+struct ShardRanges {
+    /// Lower-bound key per sub-range row, ascending.
+    lo_keys: Vec<u64>,
+    /// Upper-bound key per sub-range row (same row order).
+    hi_keys: Vec<u64>,
+    /// CSR offsets into `range_postings`, length `rows + 1`.
+    range_offsets: Vec<u32>,
+    /// Shard-local dense postings of the sub-range rows.
+    range_postings: Vec<DenseId>,
+    /// Equality-row value keys, ascending.
+    point_keys: Vec<u64>,
+    /// CSR offsets into `point_postings`, length `points + 1`.
+    point_offsets: Vec<u32>,
+    /// Shard-local dense postings of the equality rows.
+    point_postings: Vec<DenseId>,
+}
+
+impl ShardRanges {
+    /// Splits `src`'s rows down to the dense range `[lo, hi)`, rebasing
+    /// postings to shard-local ids. `None` when no posting survives.
+    fn derive(src: &RangeSummary, lo: DenseId, hi: DenseId) -> Option<ShardRanges> {
+        let mut out = ShardRanges::default();
+        out.range_offsets.push(0);
+        for row in src.ranges() {
+            let slice = idlist_range_slice(&row.ids, lo, hi);
+            if slice.is_empty() {
+                continue;
+            }
+            out.lo_keys.push(lower_key(row.interval.lo()));
+            out.hi_keys.push(upper_key(row.interval.hi()));
+            out.range_postings.extend(slice.iter().map(|&d| d - lo));
+            out.range_offsets.push(out.range_postings.len() as u32);
+        }
+        out.point_offsets.push(0);
+        for (v, ids) in src.points() {
+            let slice = idlist_range_slice(ids, lo, hi);
+            if slice.is_empty() {
+                continue;
+            }
+            out.point_keys.push(num_key(v));
+            out.point_postings.extend(slice.iter().map(|&d| d - lo));
+            out.point_offsets.push(out.point_postings.len() as u32);
+        }
+        if out.lo_keys.is_empty() && out.point_keys.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Appends the postings of the (at most one, by disjointness) row
+    /// containing the value with key `key`, then the equality row.
+    /// Equivalent to [`RangeSummary::query_into`] restricted to this
+    /// shard's postings; cost accounting matches its shape.
+    #[inline]
+    fn query_into(&self, key: u64, out: &mut IdList, stats: &mut MatchStats) {
+        if !self.lo_keys.is_empty() {
+            let probes = (usize::BITS - self.lo_keys.len().leading_zeros()) as usize;
+            stats.rows_scanned += probes;
+            stats.rows_pruned += self.lo_keys.len().saturating_sub(probes);
+            // Last row whose lower bound admits `key`; the two compares
+            // below replace the enum-dispatching `Interval::contains`.
+            let idx = self.lo_keys.partition_point(|&lo| lo <= key);
+            if idx > 0 && key <= self.hi_keys[idx - 1] {
+                let a = self.range_offsets[idx - 1] as usize;
+                let b = self.range_offsets[idx] as usize;
+                out.extend_from_slice(&self.range_postings[a..b]);
+            }
+        }
+        if !self.point_keys.is_empty() {
+            stats.rows_scanned += 1;
+            stats.rows_pruned += self.point_keys.len() - 1;
+            if let Ok(i) = self.point_keys.binary_search(&key) {
+                let a = self.point_offsets[i] as usize;
+                let b = self.point_offsets[i + 1] as usize;
+                out.extend_from_slice(&self.point_postings[a..b]);
+            }
+        }
+    }
+}
+
+/// One shard: the flat summary's rows restricted to a contiguous dense
+/// range, in shard-local id space.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    /// First global dense id of the shard (a multiple of 64).
+    base: u32,
+    /// Per-attribute flat AACS layouts (`None` where empty).
+    arith: Vec<Option<ShardRanges>>,
+    /// Per-attribute SACS restrictions (`None` where empty).
+    strings: Vec<Option<PatternSummary>>,
+    /// `required[local]` — the flat table's counter thresholds for this
+    /// shard's dense slice.
+    required: Vec<u32>,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.required.len()
+    }
+}
+
+/// A published shard partition: derived state, rebuilt from the flat
+/// summary on every mutation and swapped in atomically.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardSet {
+    schema: Schema,
+    /// Partition bounds over the global dense space: shard `k` owns
+    /// `bounds[k] .. bounds[k+1]`; interior bounds are multiples of 64.
+    bounds: Vec<u32>,
+    /// The flat intern-table id list (global dense id -> full id).
+    ids: SubIdList,
+    shards: Vec<Shard>,
+}
+
+impl ShardSet {
+    fn derive(flat: &BrokerSummary, shard_count: usize) -> ShardSet {
+        let n = flat.intern_table().ids_slice().len();
+        let bounds = partition_bounds(n, shard_count);
+        let shards = bounds
+            .windows(2)
+            .map(|w| Shard {
+                base: w[0],
+                arith: flat
+                    .arith_slots()
+                    .iter()
+                    .map(|s| s.as_ref().and_then(|s| ShardRanges::derive(s, w[0], w[1])))
+                    .collect(),
+                strings: flat
+                    .string_slots()
+                    .iter()
+                    .map(|s| s.as_ref().and_then(|s| s.filter_rebase(w[0], w[1])))
+                    .collect(),
+                required: flat.intern_table().required_slice()[w[0] as usize..w[1] as usize]
+                    .to_vec(),
+            })
+            .collect();
+        ShardSet {
+            schema: flat.schema().clone(),
+            bounds,
+            ids: flat.intern_table().ids_slice().to_vec(),
+            shards,
+        }
+    }
+}
+
+/// The deterministic partition function: `n` dense ids split into at
+/// most `shard_count` contiguous ranges of equal word-aligned size
+/// (every interior bound is a multiple of 64, so shard-local bitmap
+/// words map to disjoint global words and merge by copy/OR). Returns
+/// the `bounds` array, length `shards + 1`.
+pub(crate) fn partition_bounds(n: usize, shard_count: usize) -> Vec<u32> {
+    let s = shard_count.max(1);
+    let chunk = n.div_ceil(s).div_ceil(64).max(1) * 64;
+    let mut bounds: Vec<u32> = Vec::with_capacity(s + 1);
+    bounds.push(0);
+    let mut at = 0usize;
+    while at < n {
+        at = (at + chunk).min(n);
+        bounds.push(at as u32);
+    }
+    if bounds.len() == 1 {
+        // Empty summary: keep one (empty) shard so matching has a
+        // well-formed partition to walk.
+        bounds.push(0);
+    }
+    bounds
+}
+
+/// Per-shard working memory of the epoch-counter kernel — the same
+/// lazily-invalidated arrays as [`crate::MatchScratch`], sized to the
+/// shard's local dense space.
+#[derive(Debug, Clone, Default)]
+struct ShardKernel {
+    per_attr: IdList,
+    hits: Vec<u32>,
+    stamp: Vec<u64>,
+    seen: Vec<u64>,
+    touched: Vec<DenseId>,
+    /// Shard-local matched bitmap; cleared during the merge phase.
+    words: Vec<u64>,
+    token: u64,
+}
+
+impl ShardKernel {
+    /// Runs the counter kernel for one shard over one event, setting
+    /// bits in `self.words` (shard-local). Returns the highest local
+    /// word index written + 1, or 0 when nothing matched.
+    fn run(
+        &mut self,
+        shard: &Shard,
+        schema: &Schema,
+        event: &Event,
+        stats: &mut MatchStats,
+    ) -> usize {
+        CNT_SHARD_FANOUT.inc();
+        let n = shard.len();
+        if self.hits.len() < n {
+            self.hits.resize(n, 0);
+            self.stamp.resize(n, 0);
+            self.seen.resize(n, 0);
+        }
+        if self.words.len() < n.div_ceil(64) {
+            self.words.resize(n.div_ceil(64), 0);
+        }
+        let epoch = self.token + 1;
+        let mut attr_token = epoch;
+        for (attr, value) in event.iter() {
+            self.per_attr.clear();
+            if schema.kind(attr).is_arithmetic() {
+                if let Some(s) = shard.arith.get(attr.index()).and_then(Option::as_ref) {
+                    if let Some(v) = value.as_num() {
+                        s.query_into(num_key(v), &mut self.per_attr, stats);
+                    }
+                }
+            } else if let Some(s) = shard.strings.get(attr.index()).and_then(Option::as_ref) {
+                if let Some(v) = value.as_str() {
+                    let cost = s.query_into(v, &mut self.per_attr);
+                    stats.rows_scanned += cost.rows_touched;
+                    stats.rows_pruned += cost.rows_pruned;
+                }
+            }
+            attr_token += 1;
+            for &d in self.per_attr.iter() {
+                let di = d as usize;
+                if self.seen[di] == attr_token {
+                    continue;
+                }
+                self.seen[di] = attr_token;
+                stats.ids_collected += 1;
+                if self.stamp[di] == epoch {
+                    self.hits[di] += 1;
+                } else {
+                    self.stamp[di] = epoch;
+                    self.hits[di] = 1;
+                    self.touched.push(d);
+                }
+            }
+        }
+        self.token = attr_token;
+        stats.candidates += self.touched.len();
+        let mut top = 0usize;
+        for &d in self.touched.iter() {
+            let di = d as usize;
+            if self.hits[di] == shard.required[di] {
+                let w = di / 64;
+                self.words[w] |= 1u64 << (di % 64);
+                top = top.max(w + 1);
+            }
+        }
+        self.touched.clear();
+        top
+    }
+}
+
+/// Reusable working memory for [`ShardedSummary::match_event_into`]:
+/// one [`ShardKernel`] per shard, the snapshot reader slot, and the
+/// outcome buffer. Like [`crate::MatchScratch`], a warm scratch makes
+/// the sharded steady-state match loop allocation-free — pinning a
+/// snapshot is two atomic stores and a load.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    /// Registered lazily against the summary's snapshot cell on first
+    /// use (the only allocating step besides kernel growth).
+    reader: Option<SnapshotReader<ShardSet>>,
+    kernels: Vec<ShardKernel>,
+    outcome: MatchOutcome,
+}
+
+impl ShardScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ShardScratch::default()
+    }
+
+    /// The outcome of the most recent match served by this scratch.
+    pub fn outcome(&self) -> &MatchOutcome {
+        &self.outcome
+    }
+}
+
+/// A [`BrokerSummary`] sharded by dense-id range behind an epoch-stamped
+/// snapshot pointer.
+///
+/// All methods take `&self`: writers serialize on an internal mutex
+/// around the canonical flat summary and publish derived [`ShardSet`]
+/// versions through a [`SnapshotCell`]; readers pin a snapshot without
+/// locking, so a `ShardedSummary` can be shared across a worker pool
+/// while subscribe/unsubscribe churn runs concurrently.
+///
+/// The sharded matcher's `matched` output is **identical** to the flat
+/// [`BrokerSummary::match_event_into`] — same candidates, same sorted
+/// order (see the module docs for why); work counters differ (per-shard
+/// probes are accounted per shard).
+#[derive(Debug)]
+pub struct ShardedSummary {
+    flat: Mutex<BrokerSummary>,
+    shard_count: usize,
+    cell: Arc<SnapshotCell<ShardSet>>,
+}
+
+impl ShardedSummary {
+    /// Creates an empty sharded summary over `schema` targeting
+    /// `shard_count` shards (small populations may yield fewer, since
+    /// shards are word-aligned).
+    pub fn new(schema: Schema, shard_count: usize) -> Self {
+        ShardedSummary::from_flat(BrokerSummary::new(schema), shard_count)
+    }
+
+    /// Shards an existing flat summary (e.g. one rebuilt by a wire
+    /// decode — the partition is derived state and never travels).
+    pub fn from_flat(flat: BrokerSummary, shard_count: usize) -> Self {
+        let set = ShardSet::derive(&flat, shard_count);
+        ShardedSummary {
+            flat: Mutex::new(flat),
+            shard_count,
+            cell: Arc::new(SnapshotCell::new(set)),
+        }
+    }
+
+    /// The configured shard-count target.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    fn lock_flat(&self) -> MutexGuard<'_, BrokerSummary> {
+        match self.flat.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Runs `f` over the canonical flat summary (wire encoding, stats,
+    /// digests — everything representation-level goes through here).
+    pub fn with_flat<R>(&self, f: impl FnOnce(&BrokerSummary) -> R) -> R {
+        f(&self.lock_flat())
+    }
+
+    /// A clone of the canonical flat summary.
+    pub fn to_flat(&self) -> BrokerSummary {
+        self.lock_flat().clone()
+    }
+
+    /// Consumes the sharded view, returning the canonical flat summary.
+    pub fn into_flat(self) -> BrokerSummary {
+        self.flat.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The canonical digest — computed on the flat summary, so it is
+    /// byte-identical to an unsharded build of the same subscriptions.
+    pub fn digest(&self) -> SummaryDigest {
+        self.lock_flat().digest()
+    }
+
+    /// The number of subscriptions summarized.
+    pub fn subscription_count(&self) -> usize {
+        self.lock_flat().subscription_count()
+    }
+
+    /// Mutates the flat summary under the writer lock, then derives and
+    /// publishes a fresh shard partition. Readers keep matching against
+    /// the previous version until the pointer flip.
+    fn mutate<R>(&self, f: impl FnOnce(&mut BrokerSummary) -> R) -> R {
+        let mut flat = self.lock_flat();
+        let out = f(&mut flat);
+        let set = ShardSet::derive(&flat, self.shard_count);
+        self.cell.publish(set);
+        out
+    }
+
+    /// As [`BrokerSummary::insert`]; concurrent matching is never
+    /// stalled.
+    pub fn insert(
+        &self,
+        broker: subsum_types::BrokerId,
+        local: subsum_types::LocalSubId,
+        sub: &Subscription,
+    ) -> SubscriptionId {
+        self.mutate(|flat| flat.insert(broker, local, sub))
+    }
+
+    /// As [`BrokerSummary::insert_with_id`].
+    pub fn insert_with_id(&self, id: SubscriptionId, sub: &Subscription) {
+        self.mutate(|flat| flat.insert_with_id(id, sub));
+    }
+
+    /// As [`BrokerSummary::remove`].
+    pub fn remove(&self, id: SubscriptionId) {
+        self.mutate(|flat| flat.remove(id));
+    }
+
+    /// As [`BrokerSummary::merge`].
+    pub fn merge(&self, other: &BrokerSummary) {
+        self.mutate(|flat| flat.merge(other));
+    }
+
+    /// Snapshot/reclamation counters of the underlying cell.
+    pub fn snapshot_stats(&self) -> crate::snapshot::SnapshotStats {
+        self.cell.stats()
+    }
+
+    /// Matches one event against the current shard snapshot — the
+    /// sharded drop-in for [`BrokerSummary::match_event_into`], with
+    /// byte-identical `matched` output.
+    ///
+    /// Pins the snapshot lock-free, runs the per-shard counter kernels
+    /// in ascending shard order, then merges the per-shard bitmaps
+    /// word-wise and extracts set bits in ascending global dense order —
+    /// which is ascending [`SubscriptionId`] order, so the output is
+    /// sorted with no sort. Zero heap allocations at steady state.
+    pub fn match_event_into<'s>(
+        &self,
+        event: &Event,
+        scratch: &'s mut ShardScratch,
+    ) -> &'s MatchOutcome {
+        // A scratch may be re-targeted across summaries (like
+        // `MatchScratch` across brokers): drop a reader registered on a
+        // different cell, then (re)register — the only non-steady-state
+        // step.
+        if scratch
+            .reader
+            .as_ref()
+            .is_some_and(|r| !r.reads(&self.cell))
+        {
+            scratch.reader = None;
+        }
+        // Destructured so the pin guard borrows only the reader field
+        // while the kernels and the outcome stay independently mutable.
+        let ShardScratch {
+            reader,
+            kernels,
+            outcome,
+        } = scratch;
+        let reader = reader.get_or_insert_with(|| self.cell.reader());
+        let set = reader.pin();
+        let mut stats = MatchStats::default();
+        if kernels.len() < set.shards.len() {
+            kernels.resize_with(set.shards.len(), ShardKernel::default);
+        }
+        let mut tops = 0usize;
+        for (shard, kernel) in set.shards.iter().zip(kernels.iter_mut()) {
+            tops += kernel.run(shard, &set.schema, event, &mut stats);
+        }
+        // Merge phase: per-shard words map to disjoint global words
+        // (bases are multiples of 64), so walking shards in partition
+        // order *is* the word-wise merge, feeding the same sorted
+        // extraction as the flat kernel.
+        let merge_start = Instant::now();
+        outcome.matched.clear();
+        if tops > 0 {
+            for (shard, kernel) in set.shards.iter().zip(kernels.iter_mut()) {
+                let base = shard.base;
+                for w in 0..kernel.words.len() {
+                    let mut bits = kernel.words[w];
+                    if bits == 0 {
+                        continue;
+                    }
+                    kernel.words[w] = 0;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let global = base as usize + w * 64 + b;
+                        outcome.matched.push(set.ids[global]);
+                    }
+                }
+            }
+        }
+        CNT_SHARD_MERGE_NS.add(merge_start.elapsed().as_nanos() as u64);
+        outcome.stats = stats;
+        outcome
+    }
+
+    /// Matches a batch of events, fanning the **shards** out across
+    /// `workers` threads: worker `j` runs the kernels of shards `j, j +
+    /// W, …` for every event, and a final pass merges the per-shard
+    /// bitmap words into per-event sorted outputs. All workers read one
+    /// pinned snapshot; concurrent publishes are invisible to the batch
+    /// and never block it.
+    ///
+    /// Returns one sorted id list per event, identical to per-event
+    /// [`ShardedSummary::match_event_into`] output.
+    pub fn match_batch_fanout(&self, events: &[Event], workers: usize) -> Vec<Vec<SubscriptionId>> {
+        let mut reader = self.cell.reader();
+        let set = reader.pin();
+        let shard_count = set.shards.len();
+        let w = workers.max(1).min(shard_count.max(1));
+        // words[shard][event] — each worker writes only its own shards'
+        // rows, so the matrix splits mutably by shard.
+        let mut words: Vec<Vec<u64>> = Vec::with_capacity(shard_count);
+        for shard in &set.shards {
+            words.push(vec![0u64; shard.len().div_ceil(64) * events.len()]);
+        }
+        {
+            let mut slots: Vec<Option<(usize, &Shard, &mut Vec<u64>)>> = words
+                .iter_mut()
+                .enumerate()
+                .map(|(k, buf)| Some((k, &set.shards[k], buf)))
+                .collect();
+            std::thread::scope(|scope| {
+                for j in 0..w {
+                    let mut mine: Vec<(usize, &Shard, &mut Vec<u64>)> = Vec::new();
+                    for slot in slots.iter_mut().skip(j).step_by(w) {
+                        if let Some(item) = slot.take() {
+                            mine.push(item);
+                        }
+                    }
+                    let schema = &set.schema;
+                    scope.spawn(move || {
+                        let mut kernel = ShardKernel::default();
+                        let mut stats = MatchStats::default();
+                        for (_, shard, buf) in mine.iter_mut() {
+                            let stride = shard.len().div_ceil(64);
+                            for (e, event) in events.iter().enumerate() {
+                                let top = kernel.run(shard, schema, event, &mut stats);
+                                if top > 0 {
+                                    let row = &mut buf[e * stride..e * stride + stride];
+                                    for (dst, src) in
+                                        row.iter_mut().zip(kernel.words.iter_mut()).take(top)
+                                    {
+                                        *dst = *src;
+                                        *src = 0;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        // Word-wise merge into per-event sorted extractions.
+        let merge_start = Instant::now();
+        let mut out = Vec::with_capacity(events.len());
+        for e in 0..events.len() {
+            let mut matched = Vec::new();
+            for (k, shard) in set.shards.iter().enumerate() {
+                let stride = shard.len().div_ceil(64);
+                let row = &words[k][e * stride..(e + 1) * stride];
+                for (wi, &bits) in row.iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let global = shard.base as usize + wi * 64 + b;
+                        matched.push(set.ids[global]);
+                    }
+                }
+            }
+            out.push(matched);
+        }
+        CNT_SHARD_MERGE_NS.add(merge_start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Deep validation of the published partition against the canonical
+    /// flat summary — shard-coherence checks layered on top of
+    /// [`BrokerSummary::validate`]. See `validate_set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    #[cfg(any(test, debug_assertions))]
+    pub fn validate(&self) {
+        let flat = self.lock_flat();
+        flat.validate();
+        let mut reader = self.cell.reader();
+        let set = reader.pin();
+        validate_set(&flat, &set);
+    }
+}
+
+impl Clone for ShardedSummary {
+    /// Clones the canonical summary and derives a fresh partition (the
+    /// snapshot cell and its reader registrations are per-instance).
+    fn clone(&self) -> Self {
+        ShardedSummary::from_flat(self.to_flat(), self.shard_count)
+    }
+}
+
+/// Shard-coherence invariants, checked in tests and debug builds:
+///
+/// * the partition covers `0..n` contiguously with word-aligned
+///   interior bounds, and the id table equals the flat intern table;
+/// * per shard, `required` mirrors the flat thresholds and every
+///   posting is in shard-local range;
+/// * per-shard AACS keys are sorted with each row's `lo <= hi`, and
+///   CSR offsets are monotone and exhaustive;
+/// * splitting loses nothing: for every attribute, the multiset of
+///   (row, global id) postings across shards equals the flat summary's
+///   rows exactly (ranges by bound keys, points by value key, SACS rows
+///   by rendered pattern).
+///
+/// # Panics
+///
+/// Panics on the first violated invariant.
+#[cfg(any(test, debug_assertions))]
+pub(crate) fn validate_set(flat: &BrokerSummary, set: &ShardSet) {
+    let n = flat.intern_table().ids_slice().len();
+    assert_eq!(&set.ids, flat.intern_table().ids_slice(), "shard id table");
+    assert!(set.bounds.len() >= 2, "partition has at least one shard");
+    assert_eq!(set.bounds[0], 0, "partition starts at 0");
+    assert_eq!(
+        *set.bounds.last().unwrap_or(&0) as usize,
+        n,
+        "partition covers the dense space"
+    );
+    assert_eq!(set.shards.len(), set.bounds.len() - 1, "bounds/shards");
+    for w in set.bounds.windows(2) {
+        assert!(w[0] <= w[1], "bounds monotone");
+    }
+    for &b in &set.bounds[1..set.bounds.len() - 1] {
+        assert_eq!(b % 64, 0, "interior bound word-aligned");
+    }
+    for (k, shard) in set.shards.iter().enumerate() {
+        let (lo, hi) = (set.bounds[k], set.bounds[k + 1]);
+        assert_eq!(shard.base, lo, "shard base matches partition");
+        assert_eq!(shard.len(), (hi - lo) as usize, "shard length");
+        assert_eq!(
+            shard.required,
+            &flat.intern_table().required_slice()[lo as usize..hi as usize],
+            "shard required thresholds"
+        );
+        for ranges in shard.arith.iter().flatten() {
+            assert!(
+                ranges.lo_keys.windows(2).all(|w| w[0] < w[1]),
+                "shard lo keys strictly ascending"
+            );
+            for (i, &lo_k) in ranges.lo_keys.iter().enumerate() {
+                assert!(lo_k <= ranges.hi_keys[i], "row keys ordered");
+            }
+            assert_csr(&ranges.range_offsets, &ranges.range_postings, shard.len());
+            assert!(
+                ranges.point_keys.windows(2).all(|w| w[0] < w[1]),
+                "shard point keys strictly ascending"
+            );
+            assert_csr(&ranges.point_offsets, &ranges.point_postings, shard.len());
+        }
+        for sacs in shard.strings.iter().flatten() {
+            sacs.validate();
+            for (_, ids) in sacs.rows() {
+                for &d in ids {
+                    assert!((d as usize) < shard.len(), "SACS posting in range");
+                }
+            }
+        }
+    }
+    // Nothing lost, nothing invented: shard postings reassemble the
+    // flat rows exactly.
+    for (attr, slot) in flat.arith_slots().iter().enumerate() {
+        let mut flat_rows: Vec<(u64, u64, DenseId)> = Vec::new();
+        if let Some(s) = slot {
+            for row in s.ranges() {
+                for &d in &row.ids {
+                    flat_rows.push((
+                        lower_key(row.interval.lo()),
+                        upper_key(row.interval.hi()),
+                        d,
+                    ));
+                }
+            }
+            for (v, ids) in s.points() {
+                for &d in ids {
+                    flat_rows.push((num_key(v), u64::MAX, d));
+                }
+            }
+        }
+        let mut shard_rows: Vec<(u64, u64, DenseId)> = Vec::new();
+        for shard in &set.shards {
+            if let Some(r) = shard.arith.get(attr).and_then(Option::as_ref) {
+                for (i, &lo_k) in r.lo_keys.iter().enumerate() {
+                    let (a, b) = (r.range_offsets[i] as usize, r.range_offsets[i + 1] as usize);
+                    for &d in &r.range_postings[a..b] {
+                        shard_rows.push((lo_k, r.hi_keys[i], shard.base + d));
+                    }
+                }
+                for (i, &pk) in r.point_keys.iter().enumerate() {
+                    let (a, b) = (r.point_offsets[i] as usize, r.point_offsets[i + 1] as usize);
+                    for &d in &r.point_postings[a..b] {
+                        shard_rows.push((pk, u64::MAX, shard.base + d));
+                    }
+                }
+            }
+        }
+        flat_rows.sort_unstable();
+        shard_rows.sort_unstable();
+        assert_eq!(
+            flat_rows, shard_rows,
+            "AACS postings reassemble (attr {attr})"
+        );
+    }
+    for (attr, slot) in flat.string_slots().iter().enumerate() {
+        let mut flat_rows: Vec<(String, DenseId)> = Vec::new();
+        if let Some(s) = slot {
+            for (pattern, ids) in s.rows() {
+                for &d in ids {
+                    flat_rows.push((pattern.to_string(), d));
+                }
+            }
+        }
+        let mut shard_rows: Vec<(String, DenseId)> = Vec::new();
+        for shard in &set.shards {
+            if let Some(s) = shard.strings.get(attr).and_then(Option::as_ref) {
+                for (pattern, ids) in s.rows() {
+                    for &d in ids {
+                        shard_rows.push((pattern.to_string(), shard.base + d));
+                    }
+                }
+            }
+        }
+        flat_rows.sort_unstable();
+        shard_rows.sort_unstable();
+        assert_eq!(
+            flat_rows, shard_rows,
+            "SACS postings reassemble (attr {attr})"
+        );
+    }
+}
+
+#[cfg(any(test, debug_assertions))]
+fn assert_csr(offsets: &[u32], postings: &[DenseId], local_len: usize) {
+    assert!(!offsets.is_empty(), "CSR has a leading offset");
+    assert_eq!(offsets[0], 0, "CSR starts at 0");
+    assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "CSR monotone");
+    assert_eq!(
+        *offsets.last().unwrap_or(&0) as usize,
+        postings.len(),
+        "CSR exhaustive"
+    );
+    for &d in postings {
+        assert!((d as usize) < local_len, "posting in shard range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsum_types::{stock_schema, BrokerId, LocalSubId, NumOp, StrOp};
+
+    fn n(v: f64) -> Num {
+        Num::new(v).unwrap()
+    }
+
+    fn population(count: u32) -> (Schema, Vec<(SubscriptionId, Subscription)>) {
+        let schema = stock_schema();
+        let mut subs = Vec::new();
+        for i in 0..count {
+            let lo = (i % 40) as f64;
+            let mut b = Subscription::builder(&schema)
+                .num("price", NumOp::Ge, lo)
+                .unwrap()
+                .num("price", NumOp::Lt, lo + 17.0)
+                .unwrap();
+            if i % 3 == 0 {
+                let prefix = [b'A' + (i % 26) as u8];
+                b = b
+                    .str_op(
+                        "symbol",
+                        StrOp::Prefix,
+                        std::str::from_utf8(&prefix).unwrap(),
+                    )
+                    .unwrap();
+            }
+            if i % 5 == 0 {
+                b = b.num("volume", NumOp::Eq, (i % 9) as f64 * 100.0).unwrap();
+            }
+            if i % 7 == 0 {
+                b = b.str_op("exchange", StrOp::Suffix, "SE").unwrap();
+            }
+            let sub = b.build().unwrap();
+            let id = SubscriptionId::new(BrokerId((i % 4) as u16), LocalSubId(i), sub.attr_mask());
+            subs.push((id, sub));
+        }
+        (schema, subs)
+    }
+
+    fn events(schema: &Schema) -> Vec<Event> {
+        (0..12u32)
+            .map(|k| {
+                let symbol = [b'A' + ((k * 3) % 26) as u8];
+                Event::builder(schema)
+                    .num("price", 3.0 + k as f64 * 4.5)
+                    .unwrap()
+                    .num("volume", (k % 9) as f64 * 100.0)
+                    .unwrap()
+                    .str("symbol", String::from_utf8(symbol.to_vec()).unwrap())
+                    .unwrap()
+                    .str(
+                        "exchange",
+                        if k % 2 == 0 { "NYSE" } else { "LSE" }.to_string(),
+                    )
+                    .unwrap()
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn num_key_is_order_isomorphic() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            0.0,
+            f64::MIN_POSITIVE,
+            0.5,
+            1.0,
+            2.5,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        for a in values {
+            for b in values {
+                assert_eq!(
+                    num_key(n(a)) <= num_key(n(b)),
+                    n(a) <= n(b),
+                    "key order mismatch for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_keys_match_bound_semantics() {
+        let probes = [-3.0, -1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 100.0];
+        let bounds_lo = [
+            LowerBound::NegInf,
+            LowerBound::Incl(n(1.0)),
+            LowerBound::Excl(n(1.0)),
+        ];
+        let bounds_hi = [
+            UpperBound::PosInf,
+            UpperBound::Incl(n(1.0)),
+            UpperBound::Excl(n(1.0)),
+        ];
+        for v in probes {
+            let kv = num_key(n(v));
+            for lo in bounds_lo {
+                assert_eq!(lower_key(lo) <= kv, lo.admits(n(v)), "{lo:?} vs {v}");
+            }
+            for hi in bounds_hi {
+                assert_eq!(kv <= upper_key(hi), hi.admits(n(v)), "{hi:?} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bounds_are_word_aligned_and_cover() {
+        for (count, s) in [
+            (0usize, 4usize),
+            (1, 1),
+            (63, 8),
+            (64, 2),
+            (1000, 3),
+            (8000, 8),
+        ] {
+            let bounds = partition_bounds(count, s);
+            assert!(bounds.len() >= 2);
+            assert!(bounds.len() - 1 <= s.max(1));
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap() as usize, count);
+            for b in &bounds[1..bounds.len() - 1] {
+                assert_eq!(b % 64, 0, "interior bound aligned ({count}, {s})");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_flat_exactly() {
+        let (schema, subs) = population(300);
+        let mut flat = BrokerSummary::new(schema.clone());
+        for (id, sub) in &subs {
+            flat.insert_with_id(*id, sub);
+        }
+        let mut flat_scratch = crate::MatchScratch::new();
+        for shards in [1usize, 2, 3, 8] {
+            let sharded = ShardedSummary::from_flat(flat.clone(), shards);
+            sharded.validate();
+            let mut scratch = ShardScratch::new();
+            for event in events(&schema) {
+                let expect = flat
+                    .match_event_into(&event, &mut flat_scratch)
+                    .matched
+                    .clone();
+                let got = sharded.match_event_into(&event, &mut scratch);
+                assert_eq!(got.matched, expect, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_batch_matches_per_event_path() {
+        let (schema, subs) = population(257);
+        let sharded = ShardedSummary::new(schema.clone(), 4);
+        for (id, sub) in &subs {
+            sharded.insert_with_id(*id, sub);
+        }
+        let events = events(&schema);
+        let mut scratch = ShardScratch::new();
+        for workers in [1usize, 2, 4, 8] {
+            let batch = sharded.match_batch_fanout(&events, workers);
+            assert_eq!(batch.len(), events.len());
+            for (event, got) in events.iter().zip(&batch) {
+                let expect = &sharded.match_event_into(event, &mut scratch).matched;
+                assert_eq!(got, expect, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_republishes_and_digest_tracks_flat() {
+        let (schema, subs) = population(100);
+        let sharded = ShardedSummary::new(schema.clone(), 3);
+        let mut flat = BrokerSummary::new(schema.clone());
+        for (id, sub) in &subs {
+            sharded.insert_with_id(*id, sub);
+            flat.insert_with_id(*id, sub);
+        }
+        assert_eq!(sharded.digest(), flat.digest());
+        assert_eq!(sharded.snapshot_stats().flips, subs.len() as u64);
+        sharded.validate();
+        // Remove half, still coherent and equal to the flat build.
+        for (id, _) in subs.iter().step_by(2) {
+            sharded.remove(*id);
+            flat.remove(*id);
+        }
+        assert_eq!(sharded.digest(), flat.digest());
+        sharded.validate();
+        let mut scratch = ShardScratch::new();
+        let mut flat_scratch = crate::MatchScratch::new();
+        for event in events(&schema) {
+            assert_eq!(
+                sharded.match_event_into(&event, &mut scratch).matched,
+                flat.match_event_into(&event, &mut flat_scratch).matched
+            );
+        }
+    }
+
+    #[test]
+    fn merge_through_sharded_equals_flat_merge() {
+        let (schema, subs) = population(120);
+        let mut left = BrokerSummary::new(schema.clone());
+        let mut right = BrokerSummary::new(schema.clone());
+        for (i, (id, sub)) in subs.iter().enumerate() {
+            if i % 2 == 0 {
+                left.insert_with_id(*id, sub);
+            } else {
+                right.insert_with_id(*id, sub);
+            }
+        }
+        let sharded = ShardedSummary::from_flat(left.clone(), 3);
+        sharded.merge(&right);
+        left.merge(&right);
+        assert_eq!(sharded.digest(), left.digest());
+        sharded.validate();
+        let mut scratch = ShardScratch::new();
+        let mut flat_scratch = crate::MatchScratch::new();
+        for event in events(&schema) {
+            assert_eq!(
+                sharded.match_event_into(&event, &mut scratch).matched,
+                left.match_event_into(&event, &mut flat_scratch).matched
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_retargets_across_summaries() {
+        let (schema, subs) = population(80);
+        let a = ShardedSummary::new(schema.clone(), 2);
+        let b = ShardedSummary::new(schema.clone(), 5);
+        for (id, sub) in &subs {
+            a.insert_with_id(*id, sub);
+            b.insert_with_id(*id, sub);
+        }
+        let mut scratch = ShardScratch::new();
+        for event in events(&schema) {
+            let got_a = a.match_event_into(&event, &mut scratch).matched.clone();
+            let got_b = b.match_event_into(&event, &mut scratch).matched.clone();
+            assert_eq!(got_a, got_b);
+        }
+    }
+
+    #[test]
+    fn empty_summary_matches_nothing() {
+        let schema = stock_schema();
+        let sharded = ShardedSummary::new(schema.clone(), 4);
+        let mut scratch = ShardScratch::new();
+        for event in events(&schema) {
+            assert!(sharded
+                .match_event_into(&event, &mut scratch)
+                .matched
+                .is_empty());
+        }
+        sharded.validate();
+    }
+
+    // ---- negative corruption tests: validate_set must catch every
+    // ---- class of shard-coherence violation.
+
+    fn corrupt_panics(corrupt: impl Fn(&mut ShardSet) + std::panic::UnwindSafe) -> bool {
+        let (_, subs) = population(200);
+        let mut flat = BrokerSummary::new(stock_schema());
+        for (id, sub) in &subs {
+            flat.insert_with_id(*id, sub);
+        }
+        let mut set = ShardSet::derive(&flat, 3);
+        corrupt(&mut set);
+        std::panic::catch_unwind(move || validate_set(&flat, &set)).is_err()
+    }
+
+    #[test]
+    fn validate_accepts_derived_set() {
+        assert!(!corrupt_panics(|_| ()));
+    }
+
+    #[test]
+    fn validate_rejects_misaligned_bound() {
+        assert!(corrupt_panics(|set| {
+            // Move an interior bound off word alignment.
+            let mid = set.bounds.len() / 2;
+            set.bounds[mid] += 1;
+        }));
+    }
+
+    #[test]
+    fn validate_rejects_dropped_posting() {
+        assert!(corrupt_panics(|set| {
+            for shard in &mut set.shards {
+                for ranges in shard.arith.iter_mut().flatten() {
+                    if !ranges.range_postings.is_empty() {
+                        ranges.range_postings.pop();
+                        if let Some(last) = ranges.range_offsets.last_mut() {
+                            *last -= 1;
+                        }
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_required_threshold() {
+        assert!(corrupt_panics(|set| {
+            if let Some(shard) = set.shards.first_mut() {
+                if let Some(r) = shard.required.first_mut() {
+                    *r += 1;
+                }
+            }
+        }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_posting() {
+        assert!(corrupt_panics(|set| {
+            for shard in &mut set.shards {
+                for ranges in shard.arith.iter_mut().flatten() {
+                    if let Some(p) = ranges.range_postings.first_mut() {
+                        *p = u32::MAX;
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    #[test]
+    fn validate_rejects_reordered_keys() {
+        assert!(corrupt_panics(|set| {
+            for shard in &mut set.shards {
+                for ranges in shard.arith.iter_mut().flatten() {
+                    if ranges.lo_keys.len() >= 2 {
+                        ranges.lo_keys.swap(0, 1);
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    #[test]
+    fn validate_rejects_tampered_id_table() {
+        assert!(corrupt_panics(|set| {
+            if set.ids.len() >= 2 {
+                set.ids.swap(0, 1);
+            }
+        }));
+    }
+}

@@ -1,0 +1,377 @@
+//! Epoch-stamped snapshot pointers with deferred reclamation — the
+//! read-mostly concurrency primitive behind [`crate::ShardedSummary`].
+//!
+//! A [`SnapshotCell`] holds one heap-allocated *version* of a value
+//! behind an atomic pointer. Writers build a replacement off to the side
+//! and [`SnapshotCell::publish`] it with a single pointer swap; readers
+//! [`SnapshotReader::pin`] the current version with two atomic stores
+//! and a load — no lock, no CAS loop against other readers, and no
+//! allocation — and hold a borrow of it for as long as the returned
+//! guard lives. A publish therefore never stalls matching, and matching
+//! never stalls a publish.
+//!
+//! # Protocol
+//!
+//! The cell keeps a monotone **epoch** counter next to the pointer.
+//! Every reader owns an *announcement slot* (one `AtomicU64`; `0` means
+//! quiescent). The protocol, all `SeqCst`:
+//!
+//! * **pin**: read the epoch `e`, store `e` into the slot, re-read the
+//!   epoch; if it moved, retry. Only then load the pointer.
+//! * **publish**: swap the pointer, bump the epoch to `e'`, and push the
+//!   old pointer onto a limbo list tagged with retire epoch `e'`.
+//! * **reclaim**: a limbo entry with retire epoch `e'` is freed once
+//!   every registered slot is either quiescent or announces `≥ e'`.
+//!
+//! Safety argument: suppose a guard still holds the retired pointer
+//! `p`. Its pointer load returned `p`, so in the `SeqCst` total order
+//! that load precedes the swap that retired `p`; the announcement
+//! preceded the load (program order) and announced an epoch value read
+//! before the re-check — hence strictly below the retire epoch `e'`
+//! (the bump to `e'` follows the swap). The writer's scan happens after
+//! the bump, reads that announcement, sees a non-zero value `< e'`, and
+//! defers. Conversely a slot announcing `≥ e'` pinned after the bump,
+//! so its load saw the swap and cannot hold `p` (retired pointers are
+//! never re-published). The re-check closes the announce/load window: a
+//! reader that announced a stale epoch retries before ever loading the
+//! pointer. An exhaustive interleaving model of exactly this step
+//! sequence is checked in `tests/snapshot_model.rs`.
+//!
+//! Registration, publishing and reclamation serialize on one internal
+//! mutex; the read path never touches it.
+
+// The pointer flip/deref/reclaim protocol needs raw pointers; this is
+// the one module in the crate allowed to use `unsafe`, and every use is
+// confined to the invariants proven above (and model-checked in
+// `tests/snapshot_model.rs`, raced in `tests/snapshot_stress.rs`).
+#![allow(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+
+use subsum_telemetry::Count;
+
+/// Snapshot versions published (pointer flips), across all cells.
+static CNT_FLIPS: Count = Count::new(subsum_telemetry::names::SUMMARY_SNAPSHOT_FLIPS);
+/// Retired versions whose reclamation an active reader deferred.
+static CNT_DEFERRED: Count = Count::new(subsum_telemetry::names::SUMMARY_DEFERRED_RECLAIMS);
+
+/// A retired version awaiting quiescence.
+struct Retired<T> {
+    /// The epoch at which the version stopped being current; safe to
+    /// free once no reader announces an older (non-zero) epoch.
+    epoch: u64,
+    ptr: *mut T,
+    /// Whether this entry already drove the deferred-reclaims counter
+    /// (counted once per version, not once per failed sweep).
+    counted: bool,
+}
+
+/// Registration and limbo state, behind the writer-side mutex.
+struct CellInner<T> {
+    /// Announcement slots of live readers (weak: a dropped reader is
+    /// pruned on the next sweep).
+    readers: Vec<Weak<AtomicU64>>,
+    limbo: Vec<Retired<T>>,
+}
+
+/// A lock-free-to-read, single-pointer snapshot of a `T`.
+///
+/// See the module docs for the protocol. The cell always holds a
+/// current version, so [`SnapshotReader::pin`] never fails.
+pub struct SnapshotCell<T> {
+    current: AtomicPtr<T>,
+    /// Monotone version counter; starts at 1 so `0` can mean
+    /// "quiescent" in reader slots.
+    epoch: AtomicU64,
+    inner: Mutex<CellInner<T>>,
+    flips: AtomicU64,
+    deferred: AtomicU64,
+}
+
+// The cell owns heap versions of `T` and hands `&T` to readers on other
+// threads, so it needs exactly `T: Send + Sync`; the raw pointers it
+// stores are owning pointers managed under the protocol above.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T> std::fmt::Debug for SnapshotCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("epoch", &self.epoch.load(SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Counters exposed for tests and telemetry probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Versions published (pointer flips).
+    pub flips: u64,
+    /// Retired versions whose reclamation was deferred at least once
+    /// because a reader still announced an older epoch.
+    pub deferred_reclaims: u64,
+    /// Retired versions currently awaiting quiescence.
+    pub limbo: usize,
+}
+
+impl<T> SnapshotCell<T> {
+    /// Creates a cell whose first version is `value`.
+    pub fn new(value: T) -> Self {
+        SnapshotCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            epoch: AtomicU64::new(1),
+            inner: Mutex::new(CellInner {
+                readers: Vec::new(),
+                limbo: Vec::new(),
+            }),
+            flips: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+        }
+    }
+
+    /// The writer-side state; a poisoned mutex is recovered because the
+    /// guarded state stays structurally valid across panics (the vecs
+    /// are only ever pushed/retained).
+    fn lock(&self) -> MutexGuard<'_, CellInner<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a new reader on the cell.
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader<T> {
+        let slot = Arc::new(AtomicU64::new(0));
+        let mut inner = self.lock();
+        inner.readers.retain(|w| w.strong_count() > 0);
+        inner.readers.push(Arc::downgrade(&slot));
+        drop(inner);
+        SnapshotReader {
+            cell: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// Publishes `value` as the new current version. The previous
+    /// version is retired into the limbo list and freed once every
+    /// registered reader has moved past it. Readers are never blocked;
+    /// concurrent publishers serialize on the internal mutex.
+    pub fn publish(&self, value: T) {
+        let fresh = Box::into_raw(Box::new(value));
+        let mut inner = self.lock();
+        let old = self.current.swap(fresh, SeqCst);
+        let retire_epoch = self.epoch.fetch_add(1, SeqCst) + 1;
+        inner.limbo.push(Retired {
+            epoch: retire_epoch,
+            ptr: old,
+            counted: false,
+        });
+        self.flips.fetch_add(1, SeqCst);
+        CNT_FLIPS.inc();
+        self.sweep(&mut inner);
+    }
+
+    /// Attempts to reclaim quiescent limbo entries (also callable from
+    /// tests to observe reclamation without publishing).
+    pub fn try_reclaim(&self) {
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+    }
+
+    fn sweep(&self, inner: &mut CellInner<T>) {
+        inner.readers.retain(|w| w.strong_count() > 0);
+        let announced: Vec<u64> = inner
+            .readers
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|slot| slot.load(SeqCst))
+            .collect();
+        let deferred = &self.deferred;
+        inner.limbo.retain_mut(|retired| {
+            let blocked = announced.iter().any(|&a| a != 0 && a < retired.epoch);
+            if blocked {
+                if !retired.counted {
+                    retired.counted = true;
+                    deferred.fetch_add(1, SeqCst);
+                    CNT_DEFERRED.inc();
+                }
+                return true;
+            }
+            // Safety: the pointer came out of `publish`'s swap (a
+            // uniquely-owned Box) and, per the module-level argument, no
+            // reader guard can still reference it once every announced
+            // epoch is quiescent or >= its retire epoch.
+            drop(unsafe { Box::from_raw(retired.ptr) });
+            false
+        });
+    }
+
+    /// Current counters (see [`SnapshotStats`]).
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            flips: self.flips.load(SeqCst),
+            deferred_reclaims: self.deferred.load(SeqCst),
+            limbo: self.lock().limbo.len(),
+        }
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no guards can outlive the cell (they borrow
+        // readers, which hold the owning Arc), so everything is freed.
+        let inner = self.inner.get_mut();
+        let inner = match inner {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for retired in inner.limbo.drain(..) {
+            drop(unsafe { Box::from_raw(retired.ptr) });
+        }
+        let current = *self.current.get_mut();
+        drop(unsafe { Box::from_raw(current) });
+    }
+}
+
+/// A registered reader of a [`SnapshotCell`]. Each reader owns one
+/// announcement slot; [`SnapshotReader::pin`] takes `&mut self`, so one
+/// reader holds at most one pin at a time (clone the reader — or hand
+/// one to each worker — for concurrent pins).
+#[derive(Debug)]
+pub struct SnapshotReader<T> {
+    cell: Arc<SnapshotCell<T>>,
+    slot: Arc<AtomicU64>,
+}
+
+impl<T> Clone for SnapshotReader<T> {
+    /// Registers a fresh slot on the same cell.
+    fn clone(&self) -> Self {
+        self.cell.reader()
+    }
+}
+
+impl<T> SnapshotReader<T> {
+    /// Pins the current version: announce the epoch, re-check it, load
+    /// the pointer. Lock-free and allocation-free; the loop retries only
+    /// when a publish lands inside the two-instruction window.
+    pub fn pin(&mut self) -> SnapshotGuard<'_, T> {
+        loop {
+            let e = self.cell.epoch.load(SeqCst);
+            self.slot.store(e, SeqCst);
+            if self.cell.epoch.load(SeqCst) == e {
+                let ptr = self.cell.current.load(SeqCst);
+                return SnapshotGuard {
+                    slot: &self.slot,
+                    ptr,
+                    _value: PhantomData,
+                };
+            }
+        }
+    }
+
+    /// Whether this reader reads from `cell`.
+    pub fn reads(&self, cell: &Arc<SnapshotCell<T>>) -> bool {
+        Arc::ptr_eq(&self.cell, cell)
+    }
+}
+
+impl<T> Drop for SnapshotReader<T> {
+    fn drop(&mut self) {
+        // Quiesce the slot so an abandoned reader never blocks
+        // reclamation between now and the next registry prune.
+        self.slot.store(0, SeqCst);
+    }
+}
+
+/// A pinned snapshot version. Dereferences to the pinned `&T`; dropping
+/// the guard quiesces the reader's slot, allowing the version to be
+/// reclaimed after it is superseded.
+#[derive(Debug)]
+pub struct SnapshotGuard<'a, T> {
+    slot: &'a AtomicU64,
+    ptr: *const T,
+    _value: PhantomData<&'a T>,
+}
+
+impl<T> Deref for SnapshotGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: `ptr` was current when pinned and the announced epoch
+        // in `slot` (cleared only by our Drop) blocks its reclamation.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for SnapshotGuard<'_, T> {
+    fn drop(&mut self) {
+        self.slot.store(0, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_sees_latest_publish() {
+        let cell = Arc::new(SnapshotCell::new(1u32));
+        let mut reader = cell.reader();
+        assert_eq!(*reader.pin(), 1);
+        cell.publish(2);
+        assert_eq!(*reader.pin(), 2);
+        assert_eq!(cell.stats().flips, 1);
+    }
+
+    #[test]
+    fn reclamation_waits_for_active_pin() {
+        let cell = Arc::new(SnapshotCell::new(10u32));
+        let mut reader = cell.reader();
+        let guard = reader.pin();
+        cell.publish(20);
+        // The pinned first version cannot be freed yet.
+        assert_eq!(cell.stats().limbo, 1);
+        assert_eq!(cell.stats().deferred_reclaims, 1);
+        assert_eq!(*guard, 10);
+        drop(guard);
+        cell.try_reclaim();
+        assert_eq!(cell.stats().limbo, 0);
+    }
+
+    #[test]
+    fn quiescent_readers_do_not_block() {
+        let cell = Arc::new(SnapshotCell::new(0u32));
+        let mut reader = cell.reader();
+        for i in 1..=5u32 {
+            drop(reader.pin());
+            cell.publish(i);
+        }
+        // Every retired version was reclaimable at publish time.
+        assert_eq!(cell.stats().limbo, 0);
+        assert_eq!(*reader.pin(), 5);
+    }
+
+    #[test]
+    fn dropped_reader_is_pruned() {
+        let cell = Arc::new(SnapshotCell::new(0u32));
+        let mut reader = cell.reader();
+        let guard = reader.pin();
+        drop(guard);
+        drop(reader);
+        cell.publish(1);
+        assert_eq!(cell.stats().limbo, 0);
+    }
+
+    #[test]
+    fn cloned_reader_gets_own_slot() {
+        let cell = Arc::new(SnapshotCell::new(0u32));
+        let mut a = cell.reader();
+        let mut b = a.clone();
+        let ga = a.pin();
+        let gb = b.pin();
+        assert_eq!(*ga + *gb, 0);
+    }
+}

@@ -114,6 +114,16 @@ impl InternTable {
         self.required.remove(pos);
     }
 
+    /// The sorted interned id list (dense id `d` ↦ `ids[d]`).
+    pub(crate) fn ids_slice(&self) -> &SubIdList {
+        &self.ids
+    }
+
+    /// The per-dense-id satisfied-attribute thresholds.
+    pub(crate) fn required_slice(&self) -> &[u32] {
+        &self.required
+    }
+
     /// Unions two tables into a fresh one, returning monotone translation
     /// arrays from each side's dense space into the union's. Linear in
     /// the total id count, so summary merging stays linear overall.
@@ -500,6 +510,22 @@ impl BrokerSummary {
         for &d in dense {
             out.push(self.intern.resolve(d));
         }
+    }
+
+    /// The intern table (shard derivation: the partition is split off
+    /// the flat rows in dense-id space).
+    pub(crate) fn intern_table(&self) -> &InternTable {
+        &self.intern
+    }
+
+    /// All AACS slots in attribute order (shard derivation).
+    pub(crate) fn arith_slots(&self) -> &[Option<RangeSummary>] {
+        &self.arith
+    }
+
+    /// All SACS slots in attribute order (shard derivation).
+    pub(crate) fn string_slots(&self) -> &[Option<PatternSummary>] {
+        &self.strings
     }
 
     /// The AACS for an attribute, if any constraint was recorded.

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use subsum_core::{ArithWidth, BrokerSummary, MatchScratch, PatternSummary, SummaryCodec};
+use subsum_core::{
+    ArithWidth, BrokerSummary, MatchScratch, PatternSummary, ShardScratch, ShardedSummary,
+    SummaryCodec,
+};
 use subsum_types::{
     stock_schema, BrokerId, Event, IdLayout, LocalSubId, NumOp, Pattern, Schema, StrOp,
     Subscription, SubscriptionId, Value,
@@ -125,6 +128,20 @@ fn check_sacs_invariants(sacs: &PatternSummary) {
     #[cfg(not(debug_assertions))]
     let _ = sacs;
 }
+
+/// Same for a sharded summary (shard-coherence checks against the flat
+/// canonical summary).
+fn check_sharded_invariants(sharded: &ShardedSummary) {
+    #[cfg(debug_assertions)]
+    sharded.validate();
+    #[cfg(not(debug_assertions))]
+    let _ = sharded;
+}
+
+/// The shard counts every sharded differential test sweeps: the
+/// single-shard degenerate case, small odd/even partitions and the
+/// per-core target.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -455,6 +472,127 @@ proptest! {
                     }
                 }
                 (orig, dec) => prop_assert_eq!(dec.is_none(), orig.is_none()),
+            }
+        }
+    }
+
+    /// Differential check of the sharded matcher on insert-built
+    /// summaries: for every shard count, the sharded kernel's output must
+    /// equal both the single-summary dense kernel and the naive
+    /// `match_event_scan` reference, event for event, in the same sorted
+    /// order — and the sharded digest must equal the flat digest (shards
+    /// are derived state; the canonical representation is untouched).
+    #[test]
+    fn sharded_matcher_is_identical_to_flat_and_scan(
+        subs in proptest::collection::vec(subscription(), 1..8),
+        events in proptest::collection::vec(event_strategy(), 1..8)) {
+        let schema = stock_schema();
+        let mut flat = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                flat.insert(BrokerId(0), LocalSubId(i as u32), &sub);
+            }
+        }
+        check_invariants(&flat);
+        let mut flat_scratch = MatchScratch::new();
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedSummary::from_flat(flat.clone(), shards);
+            check_sharded_invariants(&sharded);
+            prop_assert_eq!(sharded.digest(), flat.digest());
+            let mut scratch = ShardScratch::new();
+            for raw_event in &events {
+                let event = build_event(&schema, raw_event);
+                let got = sharded.match_event_into(&event, &mut scratch).matched.clone();
+                let dense = flat.match_event_into(&event, &mut flat_scratch).matched.clone();
+                let scanned = flat.match_event_scan(&event).matched;
+                prop_assert_eq!(&got, &dense, "shards={}", shards);
+                prop_assert_eq!(got, scanned, "shards={}", shards);
+            }
+        }
+    }
+
+    /// Differential check of the sharded matcher on summaries built by
+    /// merging — the union intern table renumbers dense postings, and the
+    /// re-derived partition must still split the flat rows exactly. Both
+    /// merge orders are exercised: merging into a flat summary then
+    /// sharding, and merging through the `ShardedSummary` mutation API.
+    #[test]
+    fn sharded_matcher_identical_on_merged_summaries(
+        subs_a in proptest::collection::vec(subscription(), 1..5),
+        subs_b in proptest::collection::vec(subscription(), 1..5),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let mut a = BrokerSummary::new(schema.clone());
+        let mut b = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs_a.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                a.insert(BrokerId((i % 3) as u16 * 2), LocalSubId(i as u32), &sub);
+            }
+        }
+        for (i, raw) in subs_b.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                b.insert(BrokerId((i % 3) as u16 * 2 + 1), LocalSubId(i as u32), &sub);
+            }
+        }
+        let via_sharded = ShardedSummary::from_flat(a.clone(), 3);
+        via_sharded.merge(&b);
+        a.merge(&b);
+        check_invariants(&a);
+        check_sharded_invariants(&via_sharded);
+        prop_assert_eq!(via_sharded.digest(), a.digest());
+        let mut flat_scratch = MatchScratch::new();
+        let mut scratch = ShardScratch::new();
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedSummary::from_flat(a.clone(), shards);
+            check_sharded_invariants(&sharded);
+            for raw_event in &events {
+                let event = build_event(&schema, raw_event);
+                let got = sharded.match_event_into(&event, &mut scratch).matched.clone();
+                let dense = a.match_event_into(&event, &mut flat_scratch).matched.clone();
+                let scanned = a.match_event_scan(&event).matched;
+                prop_assert_eq!(&got, &dense, "shards={}", shards);
+                prop_assert_eq!(&got, &scanned, "shards={}", shards);
+                prop_assert_eq!(
+                    via_sharded.match_event_into(&event, &mut scratch).matched.clone(),
+                    dense
+                );
+            }
+        }
+    }
+
+    /// Differential check of the sharded matcher on wire-roundtrip-built
+    /// summaries: decode rebuilds the intern table, sharding derives the
+    /// partition from it, and the result must match the original flat
+    /// summary event-for-event with an identical digest — the wire format
+    /// is untouched by sharding.
+    #[test]
+    fn sharded_matcher_identical_after_wire_roundtrip(
+        subs in proptest::collection::vec(subscription(), 1..6),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let layout = IdLayout::new(24, 1024, schema.len() as u32).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let mut summary = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                summary.insert(BrokerId((i % 24) as u16), LocalSubId(i as u32), &sub);
+            }
+        }
+        let bytes = codec.encode(&summary).unwrap();
+        let decoded = codec.decode(&bytes, &schema).unwrap();
+        check_invariants(&decoded);
+        let mut scratch = ShardScratch::new();
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedSummary::from_flat(decoded.clone(), shards);
+            check_sharded_invariants(&sharded);
+            prop_assert_eq!(sharded.digest(), summary.digest());
+            // Encoding through the sharded view is byte-identical too.
+            let re_encoded = sharded.with_flat(|flat| codec.encode(flat).unwrap());
+            prop_assert_eq!(&re_encoded, &bytes);
+            for raw_event in &events {
+                let event = build_event(&schema, raw_event);
+                let got = sharded.match_event_into(&event, &mut scratch).matched.clone();
+                prop_assert_eq!(got, summary.match_event(&event), "shards={}", shards);
             }
         }
     }

@@ -1,0 +1,187 @@
+//! Real-thread races over the snapshot cell and the sharded matcher.
+//!
+//! `tests/snapshot_model.rs` proves the pointer-flip + deferred-reclaim
+//! protocol correct over every interleaving of an abstract model; this
+//! test races the *actual implementation* — readers continuously pinning
+//! and dereferencing while a writer publishes — so ThreadSanitizer and
+//! Miri can observe the real atomics. Assertions:
+//!
+//! * every pinned value is internally consistent (a torn or reclaimed
+//!   version would break its self-checksum);
+//! * sharded match output under concurrent subscribe/unsubscribe churn is
+//!   always a sorted subset of the id universe;
+//! * after the writer quiesces, deferred versions drain (no leak).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use subsum_core::{BrokerSummary, ShardScratch, ShardedSummary, SnapshotCell};
+use subsum_types::{stock_schema, BrokerId, Event, LocalSubId, NumOp, Subscription};
+
+/// Iteration scale: Miri interprets every instruction, so the race runs
+/// far fewer rounds there (it still exercises the full protocol).
+const PUBLISHES: usize = if cfg!(miri) { 40 } else { 4_000 };
+const CHURN_ROUNDS: usize = if cfg!(miri) { 10 } else { 400 };
+
+/// A version payload whose fields must be observed together: `b` is
+/// derived from `a`, so any torn/stale/reclaimed read shows up as a
+/// checksum mismatch.
+struct Versioned {
+    a: u64,
+    b: u64,
+    pad: Vec<u64>,
+}
+
+impl Versioned {
+    fn new(a: u64) -> Versioned {
+        Versioned {
+            a,
+            b: a.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            pad: vec![a; 32],
+        }
+    }
+
+    fn check(&self) {
+        assert_eq!(
+            self.b,
+            self.a.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            "pinned snapshot version is torn or reclaimed"
+        );
+        assert!(self.pad.iter().all(|&p| p == self.a));
+    }
+}
+
+#[test]
+fn concurrent_publish_and_pin_never_observe_reclaimed_versions() {
+    let cell = Arc::new(SnapshotCell::new(Versioned::new(0)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut reader = cell.reader();
+                let mut last = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let guard = reader.pin();
+                    guard.check();
+                    // Publishes are ordered, so observed versions are
+                    // monotone per reader.
+                    assert!(guard.a >= last, "snapshot went backwards");
+                    last = guard.a;
+                }
+            });
+        }
+
+        for v in 1..=PUBLISHES as u64 {
+            cell.publish(Versioned::new(v));
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    // All readers have dropped their slots; a final reclaim pass must
+    // drain the limbo list completely.
+    cell.try_reclaim();
+    let stats = cell.stats();
+    assert_eq!(stats.flips, PUBLISHES as u64);
+    assert_eq!(stats.limbo, 0, "versions leaked in limbo after quiesce");
+}
+
+/// Matching through a [`ShardedSummary`] while another thread churns
+/// subscriptions through it: every match result must be sorted and drawn
+/// from the id universe, and the final state must equal a sequential
+/// replay of the same mutations.
+#[test]
+fn sharded_matching_races_subscription_churn() {
+    let schema = stock_schema();
+    let mut seed = BrokerSummary::new(schema.clone());
+    let mk_sub = |i: u32| -> Subscription {
+        let lo = (i % 40) as f64;
+        Subscription::builder(&schema)
+            .num("price", NumOp::Ge, lo)
+            .unwrap()
+            .num("price", NumOp::Lt, lo + 20.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let seed_ids: Vec<_> = (0..256u32)
+        .map(|i| seed.insert(BrokerId(3), LocalSubId(i), &mk_sub(i)))
+        .collect();
+    let sharded = ShardedSummary::from_flat(seed, 4);
+
+    let events: Vec<Event> = (0..6)
+        .map(|k| {
+            Event::builder(&schema)
+                .num("price", 5.0 + k as f64 * 7.0)
+                .unwrap()
+                .build()
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let sharded = &sharded;
+            let events = &events;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut scratch = ShardScratch::new();
+                // Duplicate detector reused across events: a stamp per
+                // possible local id, bumped once per match call.
+                let mut seen = [0u64; 512];
+                let mut stamp = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    for e in events {
+                        stamp += 1;
+                        let out = sharded.match_event_into(e, &mut scratch);
+                        for id in &out.matched {
+                            assert_eq!(id.broker, BrokerId(3));
+                            let local = id.local.0 as usize;
+                            assert!(local < 512, "id outside churn universe");
+                            assert_ne!(seen[local], stamp, "duplicate id in output");
+                            seen[local] = stamp;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Churn: add a new block, remove part of the seed block, re-add.
+        for round in 0..CHURN_ROUNDS as u32 {
+            let fresh = 256 + (round % 256);
+            sharded.insert(BrokerId(3), LocalSubId(fresh), &mk_sub(fresh));
+            sharded.remove(seed_ids[(round % 256) as usize]);
+            sharded.insert(BrokerId(3), LocalSubId(round % 256), &mk_sub(round % 256));
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    // Sequential replay over a flat summary must agree exactly.
+    let mut replay = BrokerSummary::new(schema.clone());
+    let replay_ids: Vec<_> = (0..256u32)
+        .map(|i| replay.insert(BrokerId(3), LocalSubId(i), &mk_sub(i)))
+        .collect();
+    for round in 0..CHURN_ROUNDS as u32 {
+        let fresh = 256 + (round % 256);
+        replay.insert(BrokerId(3), LocalSubId(fresh), &mk_sub(fresh));
+        replay.remove(replay_ids[(round % 256) as usize]);
+        replay.insert(BrokerId(3), LocalSubId(round % 256), &mk_sub(round % 256));
+    }
+    assert_eq!(sharded.digest(), replay.digest());
+
+    let mut scratch = ShardScratch::new();
+    let mut flat_scratch = subsum_core::MatchScratch::new();
+    for e in &events {
+        let got = sharded.match_event_into(e, &mut scratch).matched.clone();
+        let want = replay
+            .match_event_into(e, &mut flat_scratch)
+            .matched
+            .clone();
+        assert_eq!(got, want);
+    }
+
+    let stats = sharded.snapshot_stats();
+    assert_eq!(stats.flips as usize, 3 * CHURN_ROUNDS);
+}

@@ -13,7 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use subsum_core::{BrokerSummary, MatchScratch};
+use subsum_core::{BrokerSummary, MatchScratch, ShardScratch, ShardedSummary};
 use subsum_types::{stock_schema, BrokerId, Event, LocalSubId, NumOp, StrOp, Subscription};
 
 /// Counts every allocation-path entry; deallocations are not counted
@@ -236,6 +236,91 @@ fn dense_kernel_allocates_nothing_with_large_population() {
     assert!(
         zero_delta,
         "large-population dense kernel allocated ({last_delta} allocations \
+         across {PASSES} passes)"
+    );
+}
+
+/// The sharded steady-state match path: pinning the shard-partition
+/// snapshot is two atomic stores and a load — no allocation — and the
+/// per-shard kernels reuse the scratch's per-shard arrays, so once a
+/// per-worker [`ShardScratch`] is warm (reader registered, kernels grown
+/// to the shard sizes), matching through a [`ShardedSummary`] must be as
+/// allocation-free as the flat kernel. Two scratches stand in for two
+/// pool workers, each with its own registered reader slot.
+#[test]
+fn sharded_match_allocates_nothing_at_steady_state() {
+    let schema = stock_schema();
+    let mut flat = BrokerSummary::new(schema.clone());
+    for i in 0..600u32 {
+        let lo = (i % 50) as f64;
+        let mut b = Subscription::builder(&schema)
+            .num("price", NumOp::Ge, lo)
+            .unwrap()
+            .num("price", NumOp::Lt, lo + 25.0)
+            .unwrap();
+        if i % 3 == 0 {
+            let prefix = [b'A' + (i % 26) as u8];
+            b = b
+                .str_op(
+                    "symbol",
+                    StrOp::Prefix,
+                    std::str::from_utf8(&prefix).unwrap(),
+                )
+                .unwrap();
+        }
+        if i % 7 == 0 {
+            b = b.num("volume", NumOp::Eq, (i % 10) as f64 * 100.0).unwrap();
+        }
+        flat.insert(BrokerId(1), LocalSubId(i), &b.build().unwrap());
+    }
+    let sharded = ShardedSummary::from_flat(flat, 8);
+
+    let events: Vec<Event> = (0..8)
+        .map(|k| {
+            let symbol = [b'A' + (k as u8 * 3) % 26];
+            Event::builder(&schema)
+                .num("price", 10.0 + k as f64 * 5.0)
+                .unwrap()
+                .num("volume", (k % 10) as f64 * 100.0)
+                .unwrap()
+                .str("symbol", String::from_utf8(symbol.to_vec()).unwrap())
+                .unwrap()
+                .build()
+        })
+        .collect();
+
+    let mut workers = [ShardScratch::new(), ShardScratch::new()];
+    let mut warm = 0usize;
+    for scratch in &mut workers {
+        for e in &events {
+            warm += sharded.match_event_into(e, scratch).matched.len();
+        }
+    }
+    assert!(warm > 0, "fixture must produce matches");
+
+    const PASSES: usize = 50;
+    let mut zero_delta = false;
+    let mut last_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut total = 0usize;
+        for _ in 0..PASSES {
+            for scratch in &mut workers {
+                for e in &events {
+                    total += sharded.match_event_into(e, scratch).matched.len();
+                }
+            }
+        }
+        std::hint::black_box(total);
+        last_delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if last_delta == 0 {
+            zero_delta = true;
+            break;
+        }
+    }
+    assert!(
+        zero_delta,
+        "steady-state sharded match path allocated ({last_delta} allocations \
          across {PASSES} passes)"
     );
 }

@@ -129,9 +129,24 @@ pub fn run(cfg: &ExperimentConfig) -> ProbeOutcome {
         net.merge(&out.routing.metrics);
     }
 
+    // Phase 1b: replay the same batch through the sharded matching path
+    // (lock-free snapshot reads over dense-id-range shards), so the
+    // `match.shard_*` and `summary.snapshot_*` counters land in the
+    // report. Outcomes are identical by construction, so the probe's
+    // delivery counts and network metrics are taken from the flat pass
+    // only.
+    sys.enable_sharded_matching(4);
+    let sharded_outcomes = sys.publish_batch(&batch);
+    debug_assert_eq!(sharded_outcomes.len(), outcomes.len());
+    for (s, f) in sharded_outcomes.iter().zip(&outcomes) {
+        debug_assert_eq!(s.deliveries, f.deliveries, "sharded replay diverged");
+    }
+
     // Phase 2: a tiny threaded deployment (runtime stages and mailbox
-    // gauges). Kept small: thread startup is the dominant cost.
-    let threaded = BrokerNetwork::start(Topology::line(4), schema.clone(), 100)
+    // gauges), itself sharded so the snapshot path also runs under real
+    // thread concurrency. Kept small: thread startup is the dominant
+    // cost.
+    let threaded = BrokerNetwork::start_with_shards(Topology::line(4), schema.clone(), 100, 2)
         .expect("tiny threaded probe starts");
     let sub = workload.subscription(&mut rng);
     threaded.subscribe(2, &sub).expect("threaded subscribe");
@@ -213,6 +228,26 @@ mod tests {
                 grown.contains(&stage.to_string()),
                 "stage {stage} not recorded"
             );
+        }
+    }
+
+    #[test]
+    fn probe_populates_the_shard_counters() {
+        // The sharded replay and the sharded threaded deployment must
+        // leave the shard fan-out and snapshot counters non-zero; delta
+        // against the global recorder as above.
+        subsum_telemetry::set_enabled(true);
+        let before: std::collections::BTreeMap<String, u64> =
+            subsum_telemetry::counters_snapshot().into_iter().collect();
+        run(&ExperimentConfig::fast());
+        subsum_telemetry::set_enabled(false);
+        let after: std::collections::BTreeMap<String, u64> =
+            subsum_telemetry::counters_snapshot().into_iter().collect();
+        use subsum_telemetry::names;
+        for counter in [names::MATCH_SHARD_FANOUT, names::SUMMARY_SNAPSHOT_FLIPS] {
+            let grew = after.get(counter).copied().unwrap_or(0)
+                > before.get(counter).copied().unwrap_or(0);
+            assert!(grew, "counter {counter} not bumped by the probe");
         }
     }
 

@@ -32,6 +32,14 @@ pub const MATCH_INTERN_RENUMBERS: &str = "match.intern_renumbers";
 pub const SACS_INDEX_HITS: &str = "sacs.index_hits";
 /// SACS wildcard rows the anchor buckets skipped without testing.
 pub const SACS_ROWS_PRUNED: &str = "sacs.rows_pruned";
+/// Per-shard kernel invocations of the sharded matcher (fan-out width).
+pub const MATCH_SHARD_FANOUT: &str = "match.shard_fanout";
+/// Nanoseconds merging per-shard match bitmaps into sorted outputs.
+pub const MATCH_SHARD_MERGE_NS: &str = "match.shard_merge_ns";
+/// Shard-partition snapshot pointer flips (one per summary mutation).
+pub const SUMMARY_SNAPSHOT_FLIPS: &str = "summary.snapshot_flips";
+/// Snapshot versions whose reclamation was deferred by an active reader.
+pub const SUMMARY_DEFERRED_RECLAIMS: &str = "summary.deferred_reclaims";
 
 /// Subscribe path of the summary broker (`subsum-broker`).
 pub const BROKER_SUBSCRIBE: &str = "broker.subscribe";
@@ -99,6 +107,10 @@ mod tests {
             super::MATCH_INTERN_RENUMBERS,
             super::SACS_INDEX_HITS,
             super::SACS_ROWS_PRUNED,
+            super::MATCH_SHARD_FANOUT,
+            super::MATCH_SHARD_MERGE_NS,
+            super::SUMMARY_SNAPSHOT_FLIPS,
+            super::SUMMARY_DEFERRED_RECLAIMS,
             super::BROKER_SUBSCRIBE,
             super::BROKER_PROPAGATE,
             super::PROPAGATE_ROUND,

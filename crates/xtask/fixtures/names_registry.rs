@@ -8,6 +8,10 @@ pub const APP_CHAOS_RESYNCS: &str = "chaos.resyncs";
 pub const APP_TRACE_SPANS: &str = "trace.spans";
 pub const APP_TRACE_HEAD_DROPS: &str = "trace.head_drops";
 pub const APP_TRACE_SAMPLED: &str = "trace.sampled";
+pub const APP_SHARD_FANOUT: &str = "match.shard_fanout";
+pub const APP_SHARD_MERGE_NS: &str = "match.shard_merge_ns";
+pub const APP_SNAPSHOT_FLIPS: &str = "summary.snapshot_flips";
+pub const APP_DEFERRED_RECLAIMS: &str = "summary.deferred_reclaims";
 
 #[cfg(test)]
 mod tests {

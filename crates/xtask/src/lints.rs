@@ -68,6 +68,8 @@ impl CheckConfig {
             "crates/core/src/aacs.rs",
             "crates/core/src/sacs.rs",
             "crates/core/src/idlist.rs",
+            "crates/core/src/shard.rs",
+            "crates/core/src/snapshot.rs",
             "crates/broker/src/routing.rs",
         ]
         .iter()
@@ -518,6 +520,19 @@ mod tests {
         // the test-region literal pass; only the seeded rogue fires.
         assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
         assert!(v[0].msg.contains("trace.unregistered"));
+    }
+
+    #[test]
+    fn telemetry_names_accepts_registered_shard_family() {
+        let mut cfg = empty_config(fixtures());
+        cfg.registry = Some(PathBuf::from("names_registry.rs"));
+        cfg.scan_files = vec![PathBuf::from("telemetry_shard.rs")];
+        let v = run_check(&cfg).unwrap();
+        // The registered `match.shard_*` / `summary.*` literals, the
+        // constant reference and the test-region literal pass; only the
+        // seeded rogue fires.
+        assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
+        assert!(v[0].msg.contains("summary.shard_unregistered"));
     }
 
     #[test]
