@@ -10,3 +10,5 @@
 //! * `pattern` — glob matching and covering micro-costs.
 //!
 //! Run all of them with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

@@ -173,7 +173,7 @@ pub struct Notification {
 }
 
 /// The result of routing one event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RoutingOutcome {
     /// Brokers that examined the event, in visit order (starting with the
     /// publisher's broker).

@@ -506,14 +506,16 @@ impl BrokerNetwork {
     pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
         let (ack_tx, ack_rx) = unbounded();
         for tx in &self.cmds {
-            tx.send(Command::SetTracer {
-                tracer: Some(Arc::clone(&tracer)),
-                reply: ack_tx.clone(),
-            })
-            .expect("broker thread alive");
+            let sent = tx
+                .send(Command::SetTracer {
+                    tracer: Some(Arc::clone(&tracer)),
+                    reply: ack_tx.clone(),
+                })
+                .is_ok();
+            assert!(sent, "broker thread alive");
         }
         for _ in &self.cmds {
-            ack_rx.recv().expect("tracer install ack");
+            assert!(ack_rx.recv().is_ok(), "tracer install ack");
         }
         self.tracer = Some(tracer);
     }
@@ -631,12 +633,13 @@ impl BrokerNetwork {
             trace,
             clock: 0,
         };
-        self.cmds[broker as usize]
+        let sent = self.cmds[broker as usize]
             .send(Command::ExamineEvent {
                 ctx,
                 brocli: vec![false; self.topology.len()],
             })
-            .expect("broker thread alive");
+            .is_ok();
+        assert!(sent, "broker thread alive");
         // Brokers drop their ctx clones as they finish; once all are
         // gone the iterator below sees the channel disconnect.
         let mut deliveries: Vec<Delivery> = rx.iter().collect();

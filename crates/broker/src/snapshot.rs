@@ -156,6 +156,7 @@ impl BrokerCheckpoint {
         if !r.is_exhausted() {
             return Err(SnapshotError::Format("trailing checkpoint bytes"));
         }
+        // BOUND: windows(2) slices always hold exactly two elements.
         if !subs.windows(2).all(|w| w[0].0 < w[1].0) {
             return Err(SnapshotError::Format("checkpoint subs not id-sorted"));
         }

@@ -56,7 +56,7 @@ pub struct Delivery {
 }
 
 /// The outcome of publishing one event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PublishOutcome {
     /// Confirmed deliveries after home-broker verification.
     pub deliveries: Vec<Delivery>,
@@ -631,11 +631,14 @@ impl SummaryPubSub {
         scratch: &mut MatchScratch,
     ) -> PublishOutcome {
         CNT_EVENTS.inc();
-        let stored = &self
-            .last_propagation
-            .as_ref()
-            .expect("publish requires a completed propagation phase")
-            .stored;
+        assert!(
+            self.last_propagation.is_some(),
+            "publish requires a completed propagation phase"
+        );
+        let Some(prop) = self.last_propagation.as_ref() else {
+            return PublishOutcome::default();
+        };
+        let stored = &prop.stored;
         let event_bytes = event.wire_size(&self.schema, 4);
         // Each publish is its own causal root (whether it records spans
         // is the tracer's sampling decision).
@@ -688,13 +691,17 @@ impl SummaryPubSub {
         scratch: &mut ShardScratch,
     ) -> PublishOutcome {
         CNT_EVENTS.inc();
-        self.last_propagation
-            .as_ref()
-            .expect("publish requires a completed propagation phase");
-        let stored = self
-            .sharded_stored
-            .as_deref()
-            .expect("sharded publish requires enable_sharded_matching");
+        assert!(
+            self.last_propagation.is_some(),
+            "publish requires a completed propagation phase"
+        );
+        assert!(
+            self.sharded_stored.is_some(),
+            "sharded publish requires enable_sharded_matching"
+        );
+        let Some(stored) = self.sharded_stored.as_deref() else {
+            return PublishOutcome::default();
+        };
         let event_bytes = event.wire_size(&self.schema, 4);
         let ctx = self
             .tracer
@@ -853,10 +860,12 @@ impl SummaryPubSub {
                 });
             }
         });
-        results
-            .into_iter()
-            .map(|o| o.expect("every batch slot is filled by its worker"))
-            .collect()
+        let out: Vec<PublishOutcome> = results.into_iter().flatten().collect();
+        assert!(
+            out.len() == events.len(),
+            "every batch slot is filled by its worker"
+        );
+        out
     }
 
     /// The exact matches an omniscient oracle would deliver — used by

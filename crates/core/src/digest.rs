@@ -49,6 +49,7 @@ fn fold(h: u64, x: u64) -> u64 {
 fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
     for chunk in bytes.chunks(8) {
         let mut word = [0u8; 8];
+        // BOUND: chunks(8) yields at most word.len() == 8 bytes.
         word[..chunk.len()].copy_from_slice(chunk);
         h = fold(h, u64::from_le_bytes(word) ^ chunk.len() as u64);
     }
@@ -140,6 +141,7 @@ impl SummaryDigest {
         }
         let word = |i: usize| {
             let mut w = [0u8; 8];
+            // BOUND: len == WIRE_BYTES (checked above); i is 0, 8 or 16.
             w.copy_from_slice(&bytes[i..i + 8]);
             u64::from_be_bytes(w)
         };

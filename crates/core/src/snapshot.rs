@@ -91,10 +91,11 @@ pub struct SnapshotCell<T> {
     deferred: AtomicU64,
 }
 
-// The cell owns heap versions of `T` and hands `&T` to readers on other
-// threads, so it needs exactly `T: Send + Sync`; the raw pointers it
-// stores are owning pointers managed under the protocol above.
+// SAFETY: the cell owns heap versions of `T` and hands `&T` to readers
+// on other threads, so `T: Send + Sync` is exactly the required bound;
+// the raw pointers are owning pointers managed under the protocol above.
 unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+// SAFETY: as for `Send` — a shared cell only ever exposes `&T`.
 unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
 
 impl<T> std::fmt::Debug for SnapshotCell<T> {
@@ -200,10 +201,9 @@ impl<T> SnapshotCell<T> {
                 }
                 return true;
             }
-            // Safety: the pointer came out of `publish`'s swap (a
-            // uniquely-owned Box) and, per the module-level argument, no
-            // reader guard can still reference it once every announced
-            // epoch is quiescent or >= its retire epoch.
+            // SAFETY: the pointer came out of `publish`'s swap (uniquely
+            // owned) and the loop above just re-checked that every
+            // announced epoch is quiescent or >= its retire epoch.
             drop(unsafe { Box::from_raw(retired.ptr) });
             false
         });
@@ -229,9 +229,13 @@ impl<T> Drop for SnapshotCell<T> {
             Err(poisoned) => poisoned.into_inner(),
         };
         for retired in inner.limbo.drain(..) {
+            // SAFETY: `&mut self` proves no guard is live (guards borrow
+            // readers, which hold the owning Arc), so every limbo
+            // pointer is uniquely owned again.
             drop(unsafe { Box::from_raw(retired.ptr) });
         }
         let current = *self.current.get_mut();
+        // SAFETY: same exclusivity — the current pointer has no readers.
         drop(unsafe { Box::from_raw(current) });
     }
 }
@@ -300,7 +304,7 @@ impl<T> Deref for SnapshotGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        // Safety: `ptr` was current when pinned and the announced epoch
+        // SAFETY: `ptr` was current when pinned and the announced epoch
         // in `slot` (cleared only by our Drop) blocks its reclamation.
         unsafe { &*self.ptr }
     }

@@ -362,6 +362,7 @@ impl SummaryCodec {
         // Wire input is untrusted: restore the sorted-dedup invariant the
         // summary structures rely on (well-formed streams are already
         // sorted, making this a no-op check).
+        // BOUND: windows(2) slices always hold exactly two elements.
         if !out.windows(2).all(|w| w[0] < w[1]) {
             out.sort_unstable();
             out.dedup();

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::topology::NodeId;
 
 /// Accumulated traffic counters for one experiment run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetMetrics {
     /// Total broker→broker messages (the paper's hop count).
     pub messages: u64,

@@ -115,7 +115,13 @@ fn intern<T>(
     name: &str,
     make: fn() -> T,
 ) -> &'static T {
-    let mut map = map.lock().expect("telemetry registry poisoned");
+    // Recover from poisoning instead of panicking on the hot path: the
+    // registry only ever gains leaked entries, so a map abandoned
+    // mid-insert is still structurally sound.
+    let mut map = match map.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
     if let Some(&existing) = map.get(name) {
         return existing;
     }

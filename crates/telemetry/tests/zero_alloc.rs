@@ -22,18 +22,23 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 // The harness only counts; System does the work. `unsafe` is confined
 // to this test crate — the library itself forbids unsafe code.
+// SAFETY: pure delegation to `System` plus a counter bump; all
+// layout/pointer contracts are forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, SeqCst);
+        // SAFETY: caller upholds GlobalAlloc's contract; delegated as-is.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds GlobalAlloc's contract; delegated as-is.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, SeqCst);
+        // SAFETY: caller upholds GlobalAlloc's contract; delegated as-is.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -299,6 +299,7 @@ impl IdLayout {
             return None;
         }
         let mut packed: u128 = 0;
+        // BOUND: bytes.len() >= n was checked above.
         for &b in &bytes[..n] {
             packed = (packed << 8) | b as u128;
         }

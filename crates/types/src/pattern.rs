@@ -281,7 +281,12 @@ impl Pattern {
                 // language is infinite: cannot be included in one string.
                 return false;
             }
-            let qe = chunks.last().expect("q has chunks");
+            // `q.anchored_end` with empty chunks means q is a bare
+            // literal/anchor combination; claiming no coverage is always
+            // a safe (conservative) answer for this predicate.
+            let Some(qe) = chunks.last() else {
+                return false;
+            };
             let pe = &psegs[pend - 1];
             if !qe.ends_with(pe.as_str()) {
                 return false;

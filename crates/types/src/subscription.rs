@@ -109,11 +109,13 @@ impl Subscription {
                         .or_insert_with(|| NormalizedAttr::Arithmetic(IntervalSet::all()))
                     {
                         NormalizedAttr::Arithmetic(set) => *set = set.intersect(&sol),
-                        NormalizedAttr::String(_) => {
-                            // A named attribute has one kind (paper §3
-                            // assumption i); mixed predicates cannot be
-                            // constructed through the checked builder.
-                            unreachable!("attribute constrained as both string and arithmetic")
+                        // A named attribute has one kind (paper §3
+                        // assumption i). The checked builder never mixes
+                        // kinds, but decoded input could: a mixed
+                        // conjunction is unsatisfiable, so it normalizes
+                        // to the empty interval set.
+                        slot @ NormalizedAttr::String(_) => {
+                            *slot = NormalizedAttr::Arithmetic(IntervalSet::empty())
                         }
                     }
                 }
@@ -125,8 +127,10 @@ impl Subscription {
                         NormalizedAttr::String(list) => {
                             list.push(StringConstraint::Pattern(p.clone()))
                         }
-                        NormalizedAttr::Arithmetic(_) => {
-                            unreachable!("attribute constrained as both string and arithmetic")
+                        // Mixed kinds: unsatisfiable (see the arithmetic
+                        // arm above).
+                        slot @ NormalizedAttr::Arithmetic(_) => {
+                            *slot = NormalizedAttr::Arithmetic(IntervalSet::empty())
                         }
                     }
                 }
@@ -136,8 +140,10 @@ impl Subscription {
                         .or_insert_with(|| NormalizedAttr::String(Vec::new()))
                     {
                         NormalizedAttr::String(list) => list.push(StringConstraint::Ne(s.clone())),
-                        NormalizedAttr::Arithmetic(_) => {
-                            unreachable!("attribute constrained as both string and arithmetic")
+                        // Mixed kinds: unsatisfiable (see the arithmetic
+                        // arm above).
+                        slot @ NormalizedAttr::Arithmetic(_) => {
+                            *slot = NormalizedAttr::Arithmetic(IntervalSet::empty())
                         }
                     }
                 }

@@ -97,8 +97,9 @@ impl PartialOrd for Num {
 
 impl Ord for Num {
     fn cmp(&self, other: &Self) -> Ordering {
-        // NaN is excluded at construction, so partial_cmp is total here.
-        self.0.partial_cmp(&other.0).expect("Num is never NaN")
+        // NaN is excluded and -0.0 normalized at construction, so IEEE
+        // total order coincides with numeric order here.
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -1,0 +1,23 @@
+//! Fixture for the atomic-policy pass: the epoch cell is declared
+//! all-SeqCst in the policy, but `store_fast` downgraded its store to
+//! Relaxed — exactly one violation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Epoch {
+    value: AtomicU64,
+}
+
+impl Epoch {
+    pub fn advance(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn read(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    pub fn store_fast(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed) // the downgrade this pass exists to catch
+    }
+}

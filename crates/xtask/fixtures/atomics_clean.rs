@@ -1,0 +1,22 @@
+//! Fixture for the atomic-policy pass: every ordering conforms to the
+//! declared all-SeqCst policy — zero findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Epoch {
+    value: AtomicU64,
+}
+
+impl Epoch {
+    pub fn advance(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn read(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: u64) {
+        self.value.store(v, Ordering::SeqCst)
+    }
+}

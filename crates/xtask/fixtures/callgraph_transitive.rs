@@ -1,0 +1,31 @@
+//! Fixture for the transitive no-panic pass: the root itself is clean,
+//! one panic hides two bare calls deep, another behind a method call
+//! resolved conservatively by name — two violations. The uncalled
+//! sibling's unwrap must NOT fire.
+
+pub fn match_event_into(input: Option<u32>) -> u32 {
+    let table = Table { rows: Vec::new() };
+    helper(input) + table.lookup(3)
+}
+
+fn helper(input: Option<u32>) -> u32 {
+    deep_helper(input)
+}
+
+fn deep_helper(input: Option<u32>) -> u32 {
+    input.unwrap() // violation: two hops below the root
+}
+
+struct Table {
+    rows: Vec<u32>,
+}
+
+impl Table {
+    fn lookup(&self, i: usize) -> u32 {
+        *self.rows.get(i).expect("caller bounds i") // violation: method hop
+    }
+}
+
+pub fn uncalled_sibling(input: Option<u32>) -> u32 {
+    input.unwrap() // never reached from a root: must not fire
+}

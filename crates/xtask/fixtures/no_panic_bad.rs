@@ -1,9 +1,10 @@
-//! Fixture for the no-panic lint: exactly four seeded violations.
-//! An `unwrap()` in a doc comment must not fire, nor must the ones in
-//! strings, `unwrap_or` calls or the `#[cfg(test)]` module below.
+//! Fixture for the no-panic pass: a hot-path root with exactly four
+//! seeded violations. An `unwrap()` in a doc comment must not fire,
+//! nor must the ones in strings, `unwrap_or` calls or the
+//! `#[cfg(test)]` module below.
 
 /// Doc example that must be ignored: `value.unwrap()`.
-pub fn hot(input: Option<u32>) -> u32 {
+pub fn match_event_into(input: Option<u32>) -> u32 {
     let msg = "an unwrap() inside a string literal";
     let _ = msg;
     let fine = input.unwrap_or(0); // `unwrap_or` is infallible
@@ -24,7 +25,7 @@ mod tests {
 
     #[test]
     fn test_code_may_unwrap() {
-        assert_eq!(hot(Some(1)).checked_mul(2).unwrap(), 2);
+        assert_eq!(match_event_into(Some(1)).checked_mul(2).unwrap(), 2);
         let ok: Result<u32, ()> = Ok(3);
         ok.expect("tests are allowed to expect");
     }

@@ -1,0 +1,17 @@
+//! Fixture for the unsafe-audit pass (this file IS allowlisted): the
+//! commented block and the commented `unsafe impl` pass, the bare
+//! block in `read_second` is the one seeded violation.
+
+pub fn read_first(ptr: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `ptr` points at a live byte.
+    unsafe { *ptr }
+}
+
+pub fn read_second(ptr: *const u8) -> u8 {
+    unsafe { *ptr.add(1) } // violation: no safety justification
+}
+
+pub struct Wrapper(*const u8);
+
+// SAFETY: the wrapped pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}

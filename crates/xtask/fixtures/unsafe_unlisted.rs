@@ -1,0 +1,8 @@
+//! Fixture for the unsafe-audit module allowlist: this file is NOT on
+//! the allowlist, so its single unsafe block fires even though the
+//! block itself is properly commented.
+
+pub fn read(ptr: *const u8) -> u8 {
+    // SAFETY: a comment does not make the module allowlisted.
+    unsafe { *ptr }
+}

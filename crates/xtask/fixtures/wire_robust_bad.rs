@@ -1,0 +1,21 @@
+//! Fixture for the wire-robust pass: one unguarded slice index and one
+//! unchecked length multiply inside decode-reachable code. The
+//! BOUND-commented index passes, and so does the indexing in the
+//! helper that the decode entry point never reaches.
+
+pub fn decode(input: &[u8]) -> Option<(u8, usize)> {
+    let first = input[0]; // violation: unguarded index
+    let count = usize::from(first);
+    let total = count * 4; // violation: unchecked length arithmetic
+    // BOUND: decode callers hand in at least a two-byte header.
+    let second = input[1];
+    read_rest(input, total).map(|len| (second, len))
+}
+
+fn read_rest(input: &[u8], total: usize) -> Option<usize> {
+    input.get(total).map(|_| total)
+}
+
+pub fn encode_scratch(buf: &[u8]) -> u8 {
+    buf[7]
+}

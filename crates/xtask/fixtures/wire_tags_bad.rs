@@ -1,7 +1,8 @@
 //! Fixture for the wire-tags lint: `TAG_ORPHAN` is encoded but never
 //! decoded (one reference beyond its declaration) — one violation.
-//! `TAG_PAIRED` and `KIND_PAIRED` appear on both sides and pass, and
-//! `TAG_NOT_A_TAG` is not a `u8`, so it is out of scope.
+//! `TAG_PAIRED` and `KIND_PAIRED` appear on both sides *and* in decode
+//! match arms, so they pass; `TAG_NOT_A_TAG` is not a `u8` and is out
+//! of scope.
 
 const TAG_PAIRED: u8 = 0;
 const TAG_ORPHAN: u8 = 1;
@@ -15,9 +16,12 @@ pub fn encode(kind: bool, out: &mut Vec<u8>) {
 }
 
 pub fn decode(input: &[u8]) -> Option<bool> {
-    match input.first()? {
-        &TAG_PAIRED => Some(true),
+    let flag = match input.first()? {
+        &TAG_PAIRED => true,
+        _ => return None,
+    };
+    match input.get(1)? {
+        &KIND_PAIRED => Some(flag),
         _ => None,
     }
-    .filter(|_| input.get(1) == Some(&KIND_PAIRED))
 }

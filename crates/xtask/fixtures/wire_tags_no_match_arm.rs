@@ -1,0 +1,21 @@
+//! Fixture for the wire-tags match-arm upgrade: `TAG_SKIPPED` is
+//! referenced by both the encoder and the decoder, but the decoder
+//! compares with `==` instead of matching on it — one violation.
+//! `TAG_MATCHED` appears in a real decode arm and passes.
+
+const TAG_MATCHED: u8 = 1;
+const TAG_SKIPPED: u8 = 2;
+
+pub fn encode(matched: bool, out: &mut Vec<u8>) {
+    out.push(if matched { TAG_MATCHED } else { TAG_SKIPPED });
+}
+
+pub fn decode(input: &[u8]) -> Option<bool> {
+    if input.first() == Some(&TAG_SKIPPED) {
+        return Some(false);
+    }
+    match input.first()? {
+        &TAG_MATCHED => Some(true),
+        _ => None,
+    }
+}

@@ -2,33 +2,55 @@
 //! workspace.
 //!
 //! The `.cargo/config.toml` alias makes `cargo xtask check` run this
-//! binary. It is dependency-free on purpose: the lints are lexical (see
-//! [`scan`]), so the checker builds and runs in seconds even on a cold
-//! cache, and CI can gate on it before the main build.
+//! binary. It is dependency-free on purpose: the analyzer is a
+//! hand-rolled token lexer ([`lex`]) plus a conservative call graph
+//! ([`graph`]), so the checker builds and runs in seconds even on a
+//! cold cache, and CI can gate on it before the main build.
 //!
 //! Exit status: 0 when the workspace is clean, 1 when any lint fires,
 //! 2 on usage or I/O errors.
 
+#![forbid(unsafe_code)]
+
+mod graph;
+mod lex;
 mod lints;
-mod scan;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: cargo xtask check [--root <dir>]
+usage: cargo xtask check [--root <dir>] [--list-reachable]
 
-Runs the workspace invariant lints:
-  no-panic         hot-path modules are free of unwrap/expect/panic
+Runs the workspace invariant lints over the token stream and the
+conservative intra-workspace call graph:
+
+  no-panic         no unwrap/expect/panic!/unreachable!/todo! in any
+                   function reachable from a hot-path root
+                   (match_event_into, query_into, route_event*,
+                   publish_batch, the SnapshotCell read path, and the
+                   wire decode entry points)
+  wire-robust      decode-reachable functions in the wire codec files
+                   justify slice indexing and length arithmetic with
+                   `// BOUND:` comments
+  atomic-policy    every Ordering::* use matches the checked-in policy
+                   table (crates/xtask/atomics.policy)
+  unsafe-audit     `unsafe` only in allowlisted modules, and every
+                   unsafe block/impl carries a `// SAFETY:` comment
   telemetry-names  metric name literals live in subsum_telemetry::names
   derived-state    wire codecs do not touch `lint: derived` fields
-  wire-tags        every wire tag constant is encoded AND decoded
+  wire-tags        every wire tag constant is encoded AND matched in a
+                   decode arm
+
+  --list-reachable prints the functions covered by the no-panic pass,
+                   each with the call chain that reaches it
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut root = None;
+    let mut list_reachable = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,6 +59,7 @@ fn main() -> ExitCode {
                 root = Some(PathBuf::from(&args[i + 1]));
                 i += 1;
             }
+            "--list-reachable" => list_reachable = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -60,6 +83,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if list_reachable {
+        return match lints::CheckConfig::workspace(&root)
+            .and_then(|cfg| lints::reachable_report(&cfg))
+        {
+            Ok(lines) => {
+                for line in &lines {
+                    println!("{line}");
+                }
+                eprintln!("xtask check: {} function(s) under the no-panic requirement", lines.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let result = lints::CheckConfig::workspace(&root).and_then(|cfg| lints::run_check(&cfg));
     match result {
