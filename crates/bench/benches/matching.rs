@@ -3,8 +3,9 @@
 //! populations and both selective and popular events, plus a
 //! high-row-count SACS scenario that isolates the pattern index's bucket
 //! pruning against the retained full-scan reference, and a large-P
-//! multi-attribute scenario that isolates the dense epoch-counter kernel
-//! against the plain-`SubscriptionId` scan reference.
+//! multi-attribute scenario that pits the compiled columnar match plan
+//! (the production path) against both the retained dense epoch-counter
+//! reference kernel and the plain-`SubscriptionId` scan reference.
 //!
 //! The harness is hand-rolled (no `criterion_main!`) so CI can smoke the
 //! report writers without timing anything: with `SUBSUM_BENCH_REPORT_ONLY`
@@ -136,11 +137,25 @@ fn bench_matching(c: &mut Criterion) {
     group.finish();
 
     // The dense-kernel scenario: a large multi-attribute paper workload
-    // where every attribute contributes dense postings and the epoch
-    // counter kernel resolves matches without sorting.
+    // where every attribute contributes dense postings. The compiled
+    // plan is the production path; the epoch-counter kernel over
+    // `IdList` rows is the retained differential reference.
     let (summary, events, _schema) = dense_kernel_fixture();
     let mut group = c.benchmark_group("dense_kernel");
     group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", DENSE_SUBS),
+        &events,
+        |b, events| {
+            let mut scratch = MatchScratch::new();
+            b.iter(|| {
+                events
+                    .iter()
+                    .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+                    .sum::<usize>()
+            })
+        },
+    );
     group.bench_with_input(
         BenchmarkId::new("epoch_kernel", DENSE_SUBS),
         &events,
@@ -149,7 +164,7 @@ fn bench_matching(c: &mut Criterion) {
             b.iter(|| {
                 events
                     .iter()
-                    .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+                    .map(|e| summary.match_event_dense_into(e, &mut scratch).matched.len())
                     .sum::<usize>()
             })
         },
@@ -345,14 +360,80 @@ fn emit_matching_report() {
     });
     let (dense_ker_lat, dense_ker_eps) = measure(&dense_events, passes, |e| {
         dense_summary
+            .match_event_dense_into(e, &mut dense_scratch)
+            .matched
+            .len()
+    });
+
+    // The compiled-plan kernel over the same scenario: the production
+    // match path probes the frozen SoA plan; the dense kernel above is
+    // the retained differential reference.
+    let (plan_lat, plan_eps) = measure(&dense_events, passes, |e| {
+        dense_summary
             .match_event_into(e, &mut dense_scratch)
             .matched
             .len()
     });
 
+    // Plan-build amortization: an insert/remove pair leaves the rows
+    // unchanged (the churn subscription can never match) but invalidates
+    // the cached plan, so the next match compiles it before probing.
+    // The build cost is the first-match latency minus the steady-state
+    // median, expressed in events needed to amortize one build.
+    let mut churn_summary = dense_summary.clone();
+    let mut build_lat = Vec::new();
+    const BUILD_TRIALS: usize = 16;
+    for t in 0..BUILD_TRIALS {
+        let churn = Subscription::builder(&dense_schema)
+            .num("num0", subsum_types::NumOp::Ge, 1.0e9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let id = churn_summary.insert(BrokerId(15), LocalSubId(70_000 + t as u32), &churn);
+        churn_summary.remove(id);
+        let e = &dense_events[t % dense_events.len()];
+        let t0 = Instant::now();
+        std::hint::black_box(
+            churn_summary
+                .match_event_into(e, &mut dense_scratch)
+                .matched
+                .len(),
+        );
+        build_lat.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    build_lat.sort_unstable_by(f64::total_cmp);
+    let steady_p50 = percentile(&plan_lat, 0.50);
+    let build_p50 = (percentile(&build_lat, 0.50) - steady_p50).max(0.0);
+    let amortize_events = build_p50 / steady_p50.max(1e-12);
+
+    // Instrumented compiled-plan pass: one more invalidation, so the
+    // pass records exactly one lazy plan rebuild, and a warm scratch, so
+    // `match.scratch_grows` proves steady-state zero growth.
+    subsum_telemetry::set_enabled(true);
+    subsum_telemetry::reset();
+    let churn = Subscription::builder(&dense_schema)
+        .num("num0", subsum_types::NumOp::Ge, 1.0e9)
+        .unwrap()
+        .build()
+        .unwrap();
+    let id = churn_summary.insert(BrokerId(15), LocalSubId(80_000), &churn);
+    churn_summary.remove(id);
+    let mut plan_matched = 0usize;
+    for e in &dense_events {
+        plan_matched += churn_summary
+            .match_event_into(e, &mut dense_scratch)
+            .matched
+            .len();
+    }
+    subsum_telemetry::set_enabled(false);
+    let plan_counters: std::collections::BTreeMap<String, u64> =
+        subsum_telemetry::counters_snapshot().into_iter().collect();
+    let plan_counter = |name: &str| Json::UInt(plan_counters.get(name).copied().unwrap_or(0));
+
     // Instrumented pass for the intern-table counters: a wire round-trip
     // forces a full intern rebuild on decode, then matching the decoded
-    // summary accumulates dense-hit and scratch-reuse counts.
+    // summary through the reference kernel accumulates dense-hit and
+    // scratch-reuse counts.
     subsum_telemetry::set_enabled(true);
     subsum_telemetry::reset();
     let codec = SummaryCodec::new(
@@ -365,7 +446,7 @@ fn emit_matching_report() {
     let mut dense_matched = 0usize;
     for e in &dense_events {
         dense_matched += decoded
-            .match_event_into(e, &mut dense_scratch)
+            .match_event_dense_into(e, &mut dense_scratch)
             .matched
             .len();
     }
@@ -459,6 +540,60 @@ fn emit_matching_report() {
                 ),
             ]),
         ),
+        (
+            "compiled_kernel",
+            Json::obj([
+                (
+                    "scenario",
+                    Json::obj([
+                        ("subscriptions", Json::UInt(DENSE_SUBS as u64)),
+                        ("events", Json::UInt(dense_events.len() as u64)),
+                        ("passes", Json::UInt(passes as u64)),
+                        ("matches_per_pass", Json::UInt(plan_matched as u64)),
+                    ]),
+                ),
+                ("events_per_sec", Json::Num(plan_eps)),
+                ("p50_us", Json::Num(percentile(&plan_lat, 0.50))),
+                ("p99_us", Json::Num(percentile(&plan_lat, 0.99))),
+                (
+                    "speedup_vs_dense",
+                    Json::Num(plan_eps / dense_ker_eps.max(1e-12)),
+                ),
+                (
+                    "speedup_vs_scan",
+                    Json::Num(plan_eps / dense_scan_eps.max(1e-12)),
+                ),
+                (
+                    "plan_build",
+                    Json::obj([
+                        ("builds_timed", Json::UInt(BUILD_TRIALS as u64)),
+                        ("build_p50_us", Json::Num(build_p50)),
+                        ("amortized_over_events", Json::Num(amortize_events)),
+                    ]),
+                ),
+                (
+                    "instrumented_pass",
+                    Json::obj([
+                        (
+                            names::MATCH_PLAN_REBUILDS,
+                            plan_counter(names::MATCH_PLAN_REBUILDS),
+                        ),
+                        (
+                            names::MATCH_PLAN_PROBE_ROWS,
+                            plan_counter(names::MATCH_PLAN_PROBE_ROWS),
+                        ),
+                        (
+                            names::MATCH_SCRATCH_GROWS,
+                            plan_counter(names::MATCH_SCRATCH_GROWS),
+                        ),
+                        (
+                            names::MATCH_SCRATCH_REUSE,
+                            plan_counter(names::MATCH_SCRATCH_REUSE),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
     ]);
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_matching.json");
@@ -483,11 +618,25 @@ fn machine_json() -> Json {
         .filter(|o| o.status.success())
         .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
         .unwrap_or_else(|| "unknown".to_string());
+    #[cfg(target_arch = "x86_64")]
+    let cpu_features = {
+        let mut f = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse2") {
+            f.push(Json::Str("sse2".to_string()));
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            f.push(Json::Str("avx2".to_string()));
+        }
+        f
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let cpu_features: Vec<Json> = Vec::new();
     Json::obj([
         ("cores", Json::UInt(cores as u64)),
         ("arch", Json::Str(std::env::consts::ARCH.to_string())),
         ("os", Json::Str(std::env::consts::OS.to_string())),
         ("commit", Json::Str(commit)),
+        ("cpu_features", Json::Arr(cpu_features)),
     ])
 }
 

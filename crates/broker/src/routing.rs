@@ -240,10 +240,11 @@ pub fn route_event(
 /// `SummaryPubSub::publish_batch`).
 ///
 /// One scratch serves every broker on the routing path even though each
-/// hop matches against a different summary: the epoch-counter kernel
-/// stamps its hit counters per call, so stale counts from a previous
-/// summary are never read and the arrays only grow to the largest
-/// dense-id space seen on the path.
+/// hop matches against a different summary: the compiled-plan kernel
+/// stamps its packed epoch-counter words per call, so stale counts from
+/// a previous summary are never read and the arrays only grow to the
+/// largest dense-id space seen on the path (each hop probes that
+/// summary's own lazily compiled columnar match plan).
 #[allow(clippy::too_many_arguments)]
 pub fn route_event_with_scratch(
     topology: &Topology,

@@ -144,9 +144,10 @@ struct BrokerState {
     merged_brokers: BTreeSet<NodeId>,
     communicated: BTreeSet<NodeId>,
     /// Per-thread matcher scratch, reused across every event this broker
-    /// thread examines. The epoch-counter kernel inside grows its dense
-    /// hit-counter arrays to the stored summary's high-water population
-    /// once, after which steady-state matching is allocation-free.
+    /// thread examines. The compiled-plan kernel inside sizes its packed
+    /// epoch-counter arrays to the stored summary's high-water population
+    /// once (`match.scratch_grows` counts the resizes), after which
+    /// steady-state matching is allocation-free.
     scratch: MatchScratch,
     /// When set, the stored summary is additionally maintained as a
     /// [`ShardedSummary`] with this many dense-id-range shards, and

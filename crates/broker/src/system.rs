@@ -231,7 +231,8 @@ impl SummaryPubSub {
     /// Enables shard-per-core matching: stored summaries are partitioned
     /// into `shard_count` dense-id-range shards (derived state — wire
     /// format, digests and match results are unchanged), and publishes
-    /// match through per-shard kernels behind lock-free snapshot reads.
+    /// match through per-shard compiled plans, frozen at snapshot-flip
+    /// time behind lock-free snapshot reads.
     /// A `shard_count` of 0 is treated as 1. Takes effect immediately if
     /// a propagation has run, and persists across future propagations.
     pub fn enable_sharded_matching(&mut self, shard_count: usize) {

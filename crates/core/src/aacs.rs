@@ -373,6 +373,32 @@ impl RangeSummary {
             assert!(!ids.is_empty(), "AACS_E row {v} has no ids");
             validate_idlist(ids);
         }
+        // Per-id range/point disjointness: an id never carries both a
+        // sub-range row containing a value and an equality row at that
+        // value. IntervalSet normalization guarantees this at insert
+        // time (a point adjacent to a range unions into it); the
+        // compiled plan's probe relies on it to skip per-attribute
+        // dedup on arithmetic banks.
+        for (v, ids) in &self.points {
+            let idx = self.ranges.partition_point(|row| upper_below(&row.interval, *v));
+            let Some(row) = self.ranges.get(idx) else {
+                continue;
+            };
+            if !row.interval.contains(*v) {
+                continue;
+            }
+            let (mut i, mut j) = (0, 0);
+            while i < ids.len() && j < row.ids.len() {
+                match ids[i].cmp(&row.ids[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => panic!(
+                        "dense id {} appears in AACS_E {v} and the covering AACS_SR row {}",
+                        ids[i], row.interval
+                    ),
+                }
+            }
+        }
     }
 }
 
@@ -641,5 +667,67 @@ mod tests {
         assert_eq!(aacs.query(n(1e9)), vec![id(2)]);
         assert_eq!(aacs.query(n(-1e9)), vec![id(3)]);
         assert!(aacs.query(n(100.0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in AACS_E")]
+    fn validate_rejects_point_inside_same_ids_range() {
+        let mut aacs = RangeSummary::new();
+        aacs.insert_interval(Interval::closed(n(0.0), n(10.0)), id(1));
+        // A point for the same id inside its own range row can never
+        // arise from normalized interval sets; injected directly, it
+        // must be rejected — the compiled plan's dedup-free arithmetic
+        // probe depends on it.
+        aacs.points.insert(n(5.0), vec![id(1)]);
+        aacs.validate();
+    }
+
+    #[test]
+    fn churn_leaves_no_empty_rows_and_restores_structure() {
+        // Regression guard for remove/remove_remap compaction: churn
+        // (insert → remove → re-insert) must leave validate()-clean
+        // structures with no empty rows or point entries, and removing
+        // everything one side inserted must restore the exact structure
+        // (digest equality is asserted at the broker-summary level by
+        // the proptests; structural equality here is stronger).
+        let build_base = || {
+            let mut aacs = RangeSummary::new();
+            aacs.insert_interval(Interval::closed(n(0.0), n(10.0)), id(1));
+            aacs.insert_interval(Interval::open(n(2.0), n(4.0)), id(3));
+            aacs.insert_point(n(20.0), id(5));
+            aacs
+        };
+        let base = build_base();
+        let mut churned = build_base();
+        // Splitting insert, then full removal of the splitter.
+        churned.insert_interval(Interval::closed(n(3.0), n(12.0)), id(2));
+        churned.insert_point(n(30.0), id(2));
+        churned.validate();
+        churned.remove(id(2));
+        churned.validate();
+        for row in churned.ranges() {
+            assert!(!row.ids.is_empty(), "empty row survived churn");
+        }
+        assert!(
+            churned.points().all(|(_, ids)| !ids.is_empty()),
+            "empty point entry survived churn"
+        );
+        assert_eq!(churned, base, "removal did not restore the structure");
+        // Re-insert after removal: same structure as inserting fresh.
+        churned.insert_interval(Interval::closed(n(3.0), n(12.0)), id(2));
+        churned.validate();
+        let mut fresh = build_base();
+        fresh.insert_interval(Interval::closed(n(3.0), n(12.0)), id(2));
+        assert_eq!(churned, fresh, "re-insert after removal diverged");
+        // `remove_remap` compacts the same way while shifting the dense
+        // space.
+        let mut remapped = build_base();
+        remapped.insert_interval(Interval::closed(n(3.0), n(12.0)), id(2));
+        remapped.remove_remap(id(2));
+        remapped.validate();
+        for row in remapped.ranges() {
+            assert!(!row.ids.is_empty(), "empty row survived remove_remap");
+        }
+        assert!(remapped.points().all(|(_, ids)| !ids.is_empty()));
     }
 }

@@ -56,6 +56,7 @@
 mod aacs;
 mod digest;
 mod idlist;
+mod plan;
 mod sacs;
 mod shard;
 mod snapshot;

@@ -65,6 +65,15 @@ static CNT_INDEX_HITS: Count = Count::new(subsum_telemetry::names::SACS_INDEX_HI
 /// work the flat scan of the pre-index matcher would have done.
 static CNT_ROWS_PRUNED: Count = Count::new(subsum_telemetry::names::SACS_ROWS_PRUNED);
 
+/// Records one query's cost into the global SACS index counters. The
+/// compiled-plan probe path performs candidate selection itself and
+/// calls this to keep `sacs.index_hits` / `sacs.rows_pruned` honest
+/// across both matchers.
+pub(crate) fn record_query_cost(cost: QueryCost) {
+    CNT_INDEX_HITS.add(cost.rows_touched as u64);
+    CNT_ROWS_PRUNED.add(cost.rows_pruned as u64);
+}
+
 /// One row of a SACS array: a general constraint and the ids of the
 /// subscriptions it stands for.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -401,6 +410,33 @@ impl PatternSummary {
         CNT_INDEX_HITS.add(cost.rows_touched as u64);
         CNT_ROWS_PRUNED.add(cost.rows_pruned as u64);
         cost
+    }
+
+    /// Positions of every wildcard row the anchor index selects for the
+    /// value `s`. Compiled-plan probe path: the plan stores only arena
+    /// posting ranges and borrows candidate selection and the pattern
+    /// tests from the summary it was compiled from.
+    pub(crate) fn plan_candidates(&self, s: &str) -> impl Iterator<Item = usize> + '_ {
+        self.index.value_candidates(s)
+    }
+
+    /// Whether wildcard row `pos` matches the value `s` (compiled-plan
+    /// probe path).
+    pub(crate) fn pattern_matches(&self, pos: usize, s: &str) -> bool {
+        self.patterns[pos].pattern.matches(s)
+    }
+
+    /// Literal rows in the map's own iteration order — stable for an
+    /// unmodified map instance, which plan compilation and the
+    /// plan-coherence validation cross-check rely on.
+    pub(crate) fn literal_rows(&self) -> impl Iterator<Item = (&String, &IdList)> {
+        self.literals.iter()
+    }
+
+    /// Wildcard-row posting lists in row order (parallel to the
+    /// compiled `StringBank::wild` ranges).
+    pub(crate) fn wildcard_postings(&self) -> impl Iterator<Item = &IdList> {
+        self.patterns.iter().map(|r| &r.ids)
     }
 
     /// Reference implementation of [`PatternSummary::query`] as a flat

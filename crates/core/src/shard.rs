@@ -31,28 +31,27 @@
 //!
 //! # Per-shard kernel layout
 //!
-//! Per-shard AACS rows are laid out for cache-linear, branch-poor
-//! probing: the disjoint sorted sub-ranges become two flat `u64` key
-//! arrays (`lo_keys` / `hi_keys`, struct-of-arrays so a binary search
-//! touches one contiguous cache-dense array, and the final containment
-//! test is two unsigned compares with no `Interval` enum dispatch) plus
-//! a CSR posting array. Keys are the standard order-preserving
-//! transform of the IEEE-754 bits — `Num` excludes NaN and normalizes
-//! `-0.0`, so `num_key(a) <= num_key(b) ⟺ a <= b` — with
-//! open/closed bounds folded into the key (`Excl` lower bounds add one
-//! ulp-key, `Excl` upper bounds subtract one), so a row satisfies a
-//! value `v` iff `lo_key <= key(v) && key(v) <= hi_key`.
+//! Each shard carries a compiled [`MatchPlan`] (see [`crate::plan`]):
+//! the disjoint sorted AACS sub-ranges as two flat `u64` key arrays
+//! (struct-of-arrays, branchless lower-bound search, containment as two
+//! unsigned compares with no `Interval` enum dispatch), AACS_E values
+//! as a sorted key array, and every posting list — AACS, AACS_E and
+//! SACS — laid back to back in one dense-u32 arena with CSR offsets.
+//! Plans are compiled once per shard at snapshot-flip time, so the
+//! publish path always probes a frozen plan; retired plans leave with
+//! their [`ShardSet`] through the snapshot epoch machinery.
 
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use subsum_telemetry::Count;
-use subsum_types::{Event, LowerBound, Num, Schema, Subscription, SubscriptionId, UpperBound};
+use subsum_types::{Event, Schema, Subscription, SubscriptionId};
 
-use crate::idlist::{idlist_range_slice, DenseId, IdList, SubIdList};
+use crate::idlist::{DenseId, IdList, SubIdList};
+use crate::plan::{lower_key, num_key, upper_key, MatchPlan};
 use crate::snapshot::{SnapshotCell, SnapshotReader};
 use crate::summary::{BrokerSummary, MatchOutcome, MatchStats};
-use crate::{PatternSummary, RangeSummary, SummaryDigest};
+use crate::{PatternSummary, SummaryDigest};
 
 /// Per-shard kernel invocations (the fan-out width of sharded matching).
 static CNT_SHARD_FANOUT: Count = Count::new(subsum_telemetry::names::MATCH_SHARD_FANOUT);
@@ -60,137 +59,17 @@ static CNT_SHARD_FANOUT: Count = Count::new(subsum_telemetry::names::MATCH_SHARD
 /// sorted output.
 static CNT_SHARD_MERGE_NS: Count = Count::new(subsum_telemetry::names::MATCH_SHARD_MERGE_NS);
 
-/// The order-preserving `u64` key of a `Num`: sign-flipped IEEE-754
-/// bits. Total-order-isomorphic to `Num`'s `Ord` because `Num` excludes
-/// NaN and normalizes `-0.0` at construction.
-#[inline]
-fn num_key(v: Num) -> u64 {
-    let bits = v.get().to_bits();
-    if bits >> 63 == 1 {
-        !bits
-    } else {
-        bits | (1 << 63)
-    }
-}
-
-/// The smallest value key satisfying a lower bound. Keys are bijective
-/// with the non-NaN floats, so `Excl(x)` is exactly "the key after
-/// `x`"; `Excl(+inf)` saturates to an unsatisfiable key, which is the
-/// correct (empty) semantics.
-#[inline]
-fn lower_key(b: LowerBound) -> u64 {
-    match b {
-        LowerBound::NegInf => 0,
-        LowerBound::Incl(x) => num_key(x),
-        LowerBound::Excl(x) => num_key(x).saturating_add(1),
-    }
-}
-
-/// The largest value key satisfying an upper bound (mirror of
-/// [`lower_key`]).
-#[inline]
-fn upper_key(b: UpperBound) -> u64 {
-    match b {
-        UpperBound::PosInf => u64::MAX,
-        UpperBound::Incl(x) => num_key(x),
-        UpperBound::Excl(x) => num_key(x).saturating_sub(1),
-    }
-}
-
-/// One shard's AACS in the flat, probe-friendly layout: sorted key
-/// arrays over the disjoint sub-range rows plus CSR posting storage,
-/// and the same for the equality (AACS_E) rows.
-#[derive(Debug, Clone, Default)]
-struct ShardRanges {
-    /// Lower-bound key per sub-range row, ascending.
-    lo_keys: Vec<u64>,
-    /// Upper-bound key per sub-range row (same row order).
-    hi_keys: Vec<u64>,
-    /// CSR offsets into `range_postings`, length `rows + 1`.
-    range_offsets: Vec<u32>,
-    /// Shard-local dense postings of the sub-range rows.
-    range_postings: Vec<DenseId>,
-    /// Equality-row value keys, ascending.
-    point_keys: Vec<u64>,
-    /// CSR offsets into `point_postings`, length `points + 1`.
-    point_offsets: Vec<u32>,
-    /// Shard-local dense postings of the equality rows.
-    point_postings: Vec<DenseId>,
-}
-
-impl ShardRanges {
-    /// Splits `src`'s rows down to the dense range `[lo, hi)`, rebasing
-    /// postings to shard-local ids. `None` when no posting survives.
-    fn derive(src: &RangeSummary, lo: DenseId, hi: DenseId) -> Option<ShardRanges> {
-        let mut out = ShardRanges::default();
-        out.range_offsets.push(0);
-        for row in src.ranges() {
-            let slice = idlist_range_slice(&row.ids, lo, hi);
-            if slice.is_empty() {
-                continue;
-            }
-            out.lo_keys.push(lower_key(row.interval.lo()));
-            out.hi_keys.push(upper_key(row.interval.hi()));
-            out.range_postings.extend(slice.iter().map(|&d| d - lo));
-            out.range_offsets.push(out.range_postings.len() as u32);
-        }
-        out.point_offsets.push(0);
-        for (v, ids) in src.points() {
-            let slice = idlist_range_slice(ids, lo, hi);
-            if slice.is_empty() {
-                continue;
-            }
-            out.point_keys.push(num_key(v));
-            out.point_postings.extend(slice.iter().map(|&d| d - lo));
-            out.point_offsets.push(out.point_postings.len() as u32);
-        }
-        if out.lo_keys.is_empty() && out.point_keys.is_empty() {
-            None
-        } else {
-            Some(out)
-        }
-    }
-
-    /// Appends the postings of the (at most one, by disjointness) row
-    /// containing the value with key `key`, then the equality row.
-    /// Equivalent to [`RangeSummary::query_into`] restricted to this
-    /// shard's postings; cost accounting matches its shape.
-    #[inline]
-    fn query_into(&self, key: u64, out: &mut IdList, stats: &mut MatchStats) {
-        if !self.lo_keys.is_empty() {
-            let probes = (usize::BITS - self.lo_keys.len().leading_zeros()) as usize;
-            stats.rows_scanned += probes;
-            stats.rows_pruned += self.lo_keys.len().saturating_sub(probes);
-            // Last row whose lower bound admits `key`; the two compares
-            // below replace the enum-dispatching `Interval::contains`.
-            let idx = self.lo_keys.partition_point(|&lo| lo <= key);
-            if idx > 0 && key <= self.hi_keys[idx - 1] {
-                let a = self.range_offsets[idx - 1] as usize;
-                let b = self.range_offsets[idx] as usize;
-                out.extend_from_slice(&self.range_postings[a..b]);
-            }
-        }
-        if !self.point_keys.is_empty() {
-            stats.rows_scanned += 1;
-            stats.rows_pruned += self.point_keys.len() - 1;
-            if let Ok(i) = self.point_keys.binary_search(&key) {
-                let a = self.point_offsets[i] as usize;
-                let b = self.point_offsets[i + 1] as usize;
-                out.extend_from_slice(&self.point_postings[a..b]);
-            }
-        }
-    }
-}
-
 /// One shard: the flat summary's rows restricted to a contiguous dense
-/// range, in shard-local id space.
+/// range, in shard-local id space, compiled into a frozen probe plan.
 #[derive(Debug, Clone)]
 pub(crate) struct Shard {
     /// First global dense id of the shard (a multiple of 64).
     base: u32,
-    /// Per-attribute flat AACS layouts (`None` where empty).
-    arith: Vec<Option<ShardRanges>>,
-    /// Per-attribute SACS restrictions (`None` where empty).
+    /// The compiled columnar plan over this shard's rows.
+    plan: MatchPlan,
+    /// Per-attribute SACS restrictions (`None` where empty). The plan
+    /// borrows candidate selection and the pattern tests from these
+    /// summaries; only posting storage is compiled into the arena.
     strings: Vec<Option<PatternSummary>>,
     /// `required[local]` — the flat table's counter thresholds for this
     /// shard's dense slice.
@@ -207,7 +86,6 @@ impl Shard {
 /// summary on every mutation and swapped in atomically.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardSet {
-    schema: Schema,
     /// Partition bounds over the global dense space: shard `k` owns
     /// `bounds[k] .. bounds[k+1]`; interior bounds are multiples of 64.
     bounds: Vec<u32>,
@@ -217,29 +95,32 @@ pub(crate) struct ShardSet {
 }
 
 impl ShardSet {
+    /// Derives the partition from the flat rows and compiles one frozen
+    /// [`MatchPlan`] per shard — this is the snapshot-flip-time compile:
+    /// by the time the set is published through the [`SnapshotCell`],
+    /// every plan is immutable and the publish path never compiles.
     fn derive(flat: &BrokerSummary, shard_count: usize) -> ShardSet {
         let n = flat.intern_table().ids_slice().len();
         let bounds = partition_bounds(n, shard_count);
         let shards = bounds
             .windows(2)
-            .map(|w| Shard {
-                base: w[0],
-                arith: flat
-                    .arith_slots()
-                    .iter()
-                    .map(|s| s.as_ref().and_then(|s| ShardRanges::derive(s, w[0], w[1])))
-                    .collect(),
-                strings: flat
+            .map(|w| {
+                let strings: Vec<Option<PatternSummary>> = flat
                     .string_slots()
                     .iter()
                     .map(|s| s.as_ref().and_then(|s| s.filter_rebase(w[0], w[1])))
-                    .collect(),
-                required: flat.intern_table().required_slice()[w[0] as usize..w[1] as usize]
-                    .to_vec(),
+                    .collect();
+                let plan = MatchPlan::compile(flat.arith_slots(), &strings, w[0], w[1]);
+                Shard {
+                    base: w[0],
+                    plan,
+                    strings,
+                    required: flat.intern_table().required_slice()[w[0] as usize..w[1] as usize]
+                        .to_vec(),
+                }
             })
             .collect();
         ShardSet {
-            schema: flat.schema().clone(),
             bounds,
             ids: flat.intern_table().ids_slice().to_vec(),
             shards,
@@ -270,89 +151,50 @@ pub(crate) fn partition_bounds(n: usize, shard_count: usize) -> Vec<u32> {
     bounds
 }
 
-/// Per-shard working memory of the epoch-counter kernel — the same
-/// lazily-invalidated arrays as [`crate::MatchScratch`], sized to the
-/// shard's local dense space.
+/// Per-shard working memory of the compiled-plan kernel — the packed
+/// `(epoch, count)` state array and dedup stamps of
+/// [`crate::MatchScratch`], sized to the shard's local dense space.
 #[derive(Debug, Clone, Default)]
 struct ShardKernel {
-    per_attr: IdList,
-    hits: Vec<u32>,
-    stamp: Vec<u64>,
+    /// Matched wildcard-row position buffer for the string probe.
+    rows: IdList,
+    /// Packed `(epoch << 16) | count` kernel state per local dense id.
+    state: Vec<u64>,
+    /// Per-attribute dedup stamps (multi-contributor string rows only).
     seen: Vec<u64>,
-    touched: Vec<DenseId>,
     /// Shard-local matched bitmap; cleared during the merge phase.
     words: Vec<u64>,
     token: u64,
 }
 
 impl ShardKernel {
-    /// Runs the counter kernel for one shard over one event, setting
-    /// bits in `self.words` (shard-local). Returns the highest local
-    /// word index written + 1, or 0 when nothing matched.
-    fn run(
-        &mut self,
-        shard: &Shard,
-        schema: &Schema,
-        event: &Event,
-        stats: &mut MatchStats,
-    ) -> usize {
+    /// Probes one shard's frozen plan with one event, setting bits in
+    /// `self.words` (shard-local). Returns the highest local word index
+    /// written + 1, or 0 when nothing matched.
+    fn run(&mut self, shard: &Shard, event: &Event, stats: &mut MatchStats) -> usize {
         CNT_SHARD_FANOUT.inc();
         let n = shard.len();
-        if self.hits.len() < n {
-            self.hits.resize(n, 0);
-            self.stamp.resize(n, 0);
+        if self.state.len() < n {
+            self.state.resize(n, 0);
             self.seen.resize(n, 0);
-        }
-        if self.words.len() < n.div_ceil(64) {
             self.words.resize(n.div_ceil(64), 0);
         }
-        let epoch = self.token + 1;
-        let mut attr_token = epoch;
-        for (attr, value) in event.iter() {
-            self.per_attr.clear();
-            if schema.kind(attr).is_arithmetic() {
-                if let Some(s) = shard.arith.get(attr.index()).and_then(Option::as_ref) {
-                    if let Some(v) = value.as_num() {
-                        s.query_into(num_key(v), &mut self.per_attr, stats);
-                    }
-                }
-            } else if let Some(s) = shard.strings.get(attr.index()).and_then(Option::as_ref) {
-                if let Some(v) = value.as_str() {
-                    let cost = s.query_into(v, &mut self.per_attr);
-                    stats.rows_scanned += cost.rows_touched;
-                    stats.rows_pruned += cost.rows_pruned;
-                }
-            }
-            attr_token += 1;
-            for &d in self.per_attr.iter() {
-                let di = d as usize;
-                if self.seen[di] == attr_token {
-                    continue;
-                }
-                self.seen[di] = attr_token;
-                stats.ids_collected += 1;
-                if self.stamp[di] == epoch {
-                    self.hits[di] += 1;
-                } else {
-                    self.stamp[di] = epoch;
-                    self.hits[di] = 1;
-                    self.touched.push(d);
-                }
-            }
+        let (lo, hi) = shard.plan.probe_into(
+            event,
+            &shard.strings,
+            &shard.required,
+            &mut self.rows,
+            &mut self.state,
+            &mut self.seen,
+            &mut self.words,
+            &mut self.token,
+            stats,
+        );
+        if lo <= hi {
+            hi + 1
+        } else {
+            0
         }
-        self.token = attr_token;
-        stats.candidates += self.touched.len();
-        let mut top = 0usize;
-        for &d in self.touched.iter() {
-            let di = d as usize;
-            if self.hits[di] == shard.required[di] {
-                let w = di / 64;
-                self.words[w] |= 1u64 << (di % 64);
-                top = top.max(w + 1);
-            }
-        }
-        self.touched.clear();
-        top
     }
 }
 
@@ -542,7 +384,7 @@ impl ShardedSummary {
         }
         let mut tops = 0usize;
         for (shard, kernel) in set.shards.iter().zip(kernels.iter_mut()) {
-            tops += kernel.run(shard, &set.schema, event, &mut stats);
+            tops += kernel.run(shard, event, &mut stats);
         }
         // Merge phase: per-shard words map to disjoint global words
         // (bases are multiples of 64), so walking shards in partition
@@ -607,14 +449,13 @@ impl ShardedSummary {
                             mine.push(item);
                         }
                     }
-                    let schema = &set.schema;
                     scope.spawn(move || {
                         let mut kernel = ShardKernel::default();
                         let mut stats = MatchStats::default();
                         for (_, shard, buf) in mine.iter_mut() {
                             let stride = shard.len().div_ceil(64);
                             for (e, event) in events.iter().enumerate() {
-                                let top = kernel.run(shard, schema, event, &mut stats);
+                                let top = kernel.run(shard, event, &mut stats);
                                 if top > 0 {
                                     let row = &mut buf[e * stride..e * stride + stride];
                                     for (dst, src) in
@@ -685,12 +526,14 @@ impl Clone for ShardedSummary {
 ///   interior bounds, and the id table equals the flat intern table;
 /// * per shard, `required` mirrors the flat thresholds and every
 ///   posting is in shard-local range;
-/// * per-shard AACS keys are sorted with each row's `lo <= hi`, and
-///   CSR offsets are monotone and exhaustive;
+/// * per-shard plan keys are sorted with each row's `lo <= hi`, CSR
+///   offsets are monotone within the arena, and the whole plan equals a
+///   fresh compile of the flat rows restricted to the shard;
 /// * splitting loses nothing: for every attribute, the multiset of
-///   (row, global id) postings across shards equals the flat summary's
-///   rows exactly (ranges by bound keys, points by value key, SACS rows
-///   by rendered pattern).
+///   (row, global id) postings across shards — read back out of the
+///   compiled plan banks — equals the flat summary's rows exactly
+///   (ranges by bound keys, points by value key, SACS rows by rendered
+///   pattern).
 ///
 /// # Panics
 ///
@@ -722,20 +565,30 @@ pub(crate) fn validate_set(flat: &BrokerSummary, set: &ShardSet) {
             &flat.intern_table().required_slice()[lo as usize..hi as usize],
             "shard required thresholds"
         );
-        for ranges in shard.arith.iter().flatten() {
+        for bank in shard.plan.arith.iter().flatten() {
             assert!(
-                ranges.lo_keys.windows(2).all(|w| w[0] < w[1]),
+                bank.lo_keys.windows(2).all(|w| w[0] < w[1]),
                 "shard lo keys strictly ascending"
             );
-            for (i, &lo_k) in ranges.lo_keys.iter().enumerate() {
-                assert!(lo_k <= ranges.hi_keys[i], "row keys ordered");
+            for (i, &lo_k) in bank.lo_keys.iter().enumerate() {
+                assert!(lo_k <= bank.hi_keys[i], "row keys ordered");
             }
-            assert_csr(&ranges.range_offsets, &ranges.range_postings, shard.len());
+            assert_csr(
+                &bank.range_offsets,
+                bank.lo_keys.len(),
+                &shard.plan.arena,
+                shard.len(),
+            );
             assert!(
-                ranges.point_keys.windows(2).all(|w| w[0] < w[1]),
+                bank.point_keys.windows(2).all(|w| w[0] < w[1]),
                 "shard point keys strictly ascending"
             );
-            assert_csr(&ranges.point_offsets, &ranges.point_postings, shard.len());
+            assert_csr(
+                &bank.point_offsets,
+                bank.point_keys.len(),
+                &shard.plan.arena,
+                shard.len(),
+            );
         }
         for sacs in shard.strings.iter().flatten() {
             sacs.validate();
@@ -745,6 +598,13 @@ pub(crate) fn validate_set(flat: &BrokerSummary, set: &ShardSet) {
                 }
             }
         }
+        // The frozen plan is a pure function of the flat rows restricted
+        // to the shard: a fresh compile must reproduce it byte for byte.
+        let recompiled = MatchPlan::compile(flat.arith_slots(), &shard.strings, lo, hi);
+        assert!(
+            shard.plan == recompiled,
+            "shard plan out of sync with the flat rows"
+        );
     }
     // Nothing lost, nothing invented: shard postings reassemble the
     // flat rows exactly.
@@ -768,16 +628,22 @@ pub(crate) fn validate_set(flat: &BrokerSummary, set: &ShardSet) {
         }
         let mut shard_rows: Vec<(u64, u64, DenseId)> = Vec::new();
         for shard in &set.shards {
-            if let Some(r) = shard.arith.get(attr).and_then(Option::as_ref) {
-                for (i, &lo_k) in r.lo_keys.iter().enumerate() {
-                    let (a, b) = (r.range_offsets[i] as usize, r.range_offsets[i + 1] as usize);
-                    for &d in &r.range_postings[a..b] {
-                        shard_rows.push((lo_k, r.hi_keys[i], shard.base + d));
+            if let Some(bank) = shard.plan.arith.get(attr).and_then(Option::as_ref) {
+                for (i, &lo_k) in bank.lo_keys.iter().enumerate() {
+                    let (a, b) = (
+                        bank.range_offsets[i] as usize,
+                        bank.range_offsets[i + 1] as usize,
+                    );
+                    for &d in &shard.plan.arena[a..b] {
+                        shard_rows.push((lo_k, bank.hi_keys[i], shard.base + d));
                     }
                 }
-                for (i, &pk) in r.point_keys.iter().enumerate() {
-                    let (a, b) = (r.point_offsets[i] as usize, r.point_offsets[i + 1] as usize);
-                    for &d in &r.point_postings[a..b] {
+                for (i, &pk) in bank.point_keys.iter().enumerate() {
+                    let (a, b) = (
+                        bank.point_offsets[i] as usize,
+                        bank.point_offsets[i + 1] as usize,
+                    );
+                    for &d in &shard.plan.arena[a..b] {
                         shard_rows.push((pk, u64::MAX, shard.base + d));
                     }
                 }
@@ -818,18 +684,22 @@ pub(crate) fn validate_set(flat: &BrokerSummary, set: &ShardSet) {
     }
 }
 
+/// CSR offsets of one plan bank: `rows + 1` long, monotone, pointing
+/// into the shared arena, every referenced posting in shard-local
+/// range. Offsets are absolute arena positions (banks share one arena),
+/// so no leading zero is required.
 #[cfg(any(test, debug_assertions))]
-fn assert_csr(offsets: &[u32], postings: &[DenseId], local_len: usize) {
-    assert!(!offsets.is_empty(), "CSR has a leading offset");
-    assert_eq!(offsets[0], 0, "CSR starts at 0");
+fn assert_csr(offsets: &[u32], rows: usize, arena: &[DenseId], local_len: usize) {
+    assert_eq!(offsets.len(), rows + 1, "CSR spans the rows");
     assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "CSR monotone");
-    assert_eq!(
-        *offsets.last().unwrap_or(&0) as usize,
-        postings.len(),
-        "CSR exhaustive"
+    assert!(
+        *offsets.last().unwrap_or(&0) as usize <= arena.len(),
+        "CSR inside the arena"
     );
-    for &d in postings {
-        assert!((d as usize) < local_len, "posting in shard range");
+    for w in offsets.windows(2) {
+        for &d in &arena[w[0] as usize..w[1] as usize] {
+            assert!((d as usize) < local_len, "posting in shard range");
+        }
     }
 }
 
@@ -837,10 +707,6 @@ fn assert_csr(offsets: &[u32], postings: &[DenseId], local_len: usize) {
 mod tests {
     use super::*;
     use subsum_types::{stock_schema, BrokerId, LocalSubId, NumOp, StrOp};
-
-    fn n(v: f64) -> Num {
-        Num::new(v).unwrap()
-    }
 
     fn population(count: u32) -> (Schema, Vec<(SubscriptionId, Subscription)>) {
         let schema = stock_schema();
@@ -894,57 +760,6 @@ mod tests {
                     .build()
             })
             .collect()
-    }
-
-    #[test]
-    fn num_key_is_order_isomorphic() {
-        let values = [
-            f64::NEG_INFINITY,
-            -1.0e300,
-            -2.5,
-            -1.0,
-            -f64::MIN_POSITIVE,
-            0.0,
-            f64::MIN_POSITIVE,
-            0.5,
-            1.0,
-            2.5,
-            1.0e300,
-            f64::INFINITY,
-        ];
-        for a in values {
-            for b in values {
-                assert_eq!(
-                    num_key(n(a)) <= num_key(n(b)),
-                    n(a) <= n(b),
-                    "key order mismatch for {a} vs {b}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn bound_keys_match_bound_semantics() {
-        let probes = [-3.0, -1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 100.0];
-        let bounds_lo = [
-            LowerBound::NegInf,
-            LowerBound::Incl(n(1.0)),
-            LowerBound::Excl(n(1.0)),
-        ];
-        let bounds_hi = [
-            UpperBound::PosInf,
-            UpperBound::Incl(n(1.0)),
-            UpperBound::Excl(n(1.0)),
-        ];
-        for v in probes {
-            let kv = num_key(n(v));
-            for lo in bounds_lo {
-                assert_eq!(lower_key(lo) <= kv, lo.admits(n(v)), "{lo:?} vs {v}");
-            }
-            for hi in bounds_hi {
-                assert_eq!(kv <= upper_key(hi), hi.admits(n(v)), "{hi:?} vs {v}");
-            }
-        }
     }
 
     #[test]
@@ -1129,14 +944,8 @@ mod tests {
     fn validate_rejects_dropped_posting() {
         assert!(corrupt_panics(|set| {
             for shard in &mut set.shards {
-                for ranges in shard.arith.iter_mut().flatten() {
-                    if !ranges.range_postings.is_empty() {
-                        ranges.range_postings.pop();
-                        if let Some(last) = ranges.range_offsets.last_mut() {
-                            *last -= 1;
-                        }
-                        return;
-                    }
+                if shard.plan.arena.pop().is_some() {
+                    return;
                 }
             }
         }));
@@ -1157,11 +966,9 @@ mod tests {
     fn validate_rejects_out_of_range_posting() {
         assert!(corrupt_panics(|set| {
             for shard in &mut set.shards {
-                for ranges in shard.arith.iter_mut().flatten() {
-                    if let Some(p) = ranges.range_postings.first_mut() {
-                        *p = u32::MAX;
-                        return;
-                    }
+                if let Some(p) = shard.plan.arena.first_mut() {
+                    *p = u32::MAX;
+                    return;
                 }
             }
         }));
@@ -1171,9 +978,9 @@ mod tests {
     fn validate_rejects_reordered_keys() {
         assert!(corrupt_panics(|set| {
             for shard in &mut set.shards {
-                for ranges in shard.arith.iter_mut().flatten() {
-                    if ranges.lo_keys.len() >= 2 {
-                        ranges.lo_keys.swap(0, 1);
+                for bank in shard.plan.arith.iter_mut().flatten() {
+                    if bank.lo_keys.len() >= 2 {
+                        bank.lo_keys.swap(0, 1);
                         return;
                     }
                 }

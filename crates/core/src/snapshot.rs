@@ -39,6 +39,12 @@
 //!
 //! Registration, publishing and reclamation serialize on one internal
 //! mutex; the read path never touches it.
+//!
+//! Versions are opaque to the cell: a retired `ShardSet` takes its
+//! per-shard compiled match plans (key banks plus postings arena,
+//! [`crate::plan`]) through the limbo list with it, so a matcher still
+//! probing a frozen plan keeps it alive via its pin — plans need no
+//! reclamation machinery of their own.
 
 // The pointer flip/deref/reclaim protocol needs raw pointers; this is
 // the one module in the crate allowed to use `unsafe`, and every use is

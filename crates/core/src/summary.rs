@@ -19,6 +19,7 @@ use subsum_types::{Event, NormalizedAttr, Schema, Subscription, SubscriptionId};
 
 use crate::aacs::RangeSummary;
 use crate::idlist::{DenseId, IdList, SubIdList};
+use crate::plan::{MatchPlan, PlanCell};
 use crate::sacs::PatternSummary;
 
 /// Telemetry stages of the summary hot paths (recorded only while the
@@ -37,6 +38,9 @@ static CNT_INTERN_REBUILDS: Count = Count::new(subsum_telemetry::names::MATCH_IN
 /// Posting renumberings caused by an interactive insert landing in the
 /// middle of the dense order (out-of-order subscription ids).
 static CNT_INTERN_RENUMBERS: Count = Count::new(subsum_telemetry::names::MATCH_INTERN_RENUMBERS);
+/// Match-scratch growth events (per-dense-id arrays resized to a larger
+/// population); zero at steady state.
+static CNT_SCRATCH_GROWS: Count = Count::new(subsum_telemetry::names::MATCH_SCRATCH_GROWS);
 
 /// The per-summary intern table: dense id `d` stands for `ids[d]`.
 ///
@@ -220,6 +224,11 @@ pub struct BrokerSummary {
     /// and the decoder rebuilds the table (the `lint: derived` tag makes
     /// `cargo xtask check` reject any reference from the wire codec).
     intern: InternTable, // lint: derived
+    /// Lazily compiled columnar probe plan over the rows above. Pure
+    /// derived state: skipped on the wire, invisible to `PartialEq` and
+    /// digests, dropped on every mutation and rebuilt on the next match.
+    #[serde(skip)]
+    plan: PlanCell, // lint: derived
 }
 
 impl BrokerSummary {
@@ -231,6 +240,7 @@ impl BrokerSummary {
             arith: vec![None; n],
             strings: vec![None; n],
             intern: InternTable::default(),
+            plan: PlanCell::default(),
         }
     }
 
@@ -280,6 +290,7 @@ impl BrokerSummary {
         if !touches {
             return;
         }
+        self.plan.invalidate();
         let dense = self.intern_id(id);
         for (attr, na) in normalized.iter() {
             match na {
@@ -349,6 +360,7 @@ impl BrokerSummary {
         let Ok(pos) = self.intern.position(&id) else {
             return;
         };
+        self.plan.invalidate();
         let gone = pos as DenseId;
         for s in self.arith.iter_mut().flatten() {
             s.remove_remap(gone);
@@ -385,6 +397,7 @@ impl BrokerSummary {
             self.schema.is_compatible(&other.schema),
             "cannot merge summaries over different schemata"
         );
+        self.plan.invalidate();
         // Union the two dense id spaces once, up front, producing
         // monotone translation arrays — both sides' postings then remap
         // in linear passes instead of re-interning id by id.
@@ -435,6 +448,7 @@ impl BrokerSummary {
         point_rows: &[(subsum_types::AttrId, subsum_types::Num, SubIdList)],
         string_rows: &[(subsum_types::AttrId, subsum_types::Pattern, SubIdList)],
     ) {
+        self.plan.invalidate();
         CNT_INTERN_REBUILDS.inc();
         // Pass 1: the union of the ids of every row that will actually
         // install (skipping the rows the old per-row inserters skipped,
@@ -560,22 +574,23 @@ impl BrokerSummary {
     }
 
     /// Matches an event against the summary using caller-owned scratch
-    /// buffers — the allocation-free hot path of Algorithm 1.
+    /// buffers — the allocation-free hot path of Algorithm 1, served by
+    /// the compiled columnar match plan.
     ///
-    /// This is a literal **counter kernel** over the dense id space: one
-    /// `O(P)` pass over the `P` collected dense postings, with no sort
-    /// and no per-attribute dedup allocation. Per posting the kernel
-    /// bumps an epoch-stamped `hits` counter (lazily invalidated by the
-    /// event epoch, so nothing is cleared between events); a second
-    /// per-attribute stamp deduplicates subscriptions holding several
-    /// satisfied constraints on one attribute. An id matches when its
-    /// counter reaches the summary's precomputed `required` count (its
-    /// `c3` mask popcount). Matched dense ids are marked in a bitmap and
-    /// extracted in ascending dense order — which *is* ascending
+    /// The summary's rows are compiled (lazily, cached until the next
+    /// mutation) into per-attribute structure-of-arrays banks over one
+    /// flat dense-id postings arena. A probe walks sorted key arrays
+    /// with a branchless lower-bound search and streams contiguous
+    /// posting slices through a packed epoch-counter kernel: one random
+    /// access per posting loads `(epoch, count)` in a single word, and
+    /// the match bit is set the moment a counter reaches the summary's
+    /// precomputed `required` count (its `c3` mask popcount) — no
+    /// candidate list, no second pass. Matched dense ids are extracted
+    /// from the bitmap in ascending dense order — which *is* ascending
     /// `SubscriptionId` order, by the intern-table invariant — so the
     /// output is sorted without sorting. All working memory lives in
-    /// `scratch`; the per-id arrays grow once to the largest summary
-    /// population seen, after which the matcher performs **zero heap
+    /// `scratch`, pre-sized to the summary population on first use;
+    /// once the plan is compiled the matcher performs **zero heap
     /// allocations**.
     ///
     /// The returned reference borrows `scratch`; the outcome stays
@@ -587,6 +602,80 @@ impl BrokerSummary {
         scratch: &'s mut MatchScratch,
     ) -> &'s MatchOutcome {
         let _span = STAGE_MATCH.start();
+        let n = self.intern.len();
+        let plan = self
+            .plan
+            .get_or_compile(|| MatchPlan::compile(&self.arith, &self.strings, 0, n as DenseId));
+        if scratch.used {
+            CNT_SCRATCH_REUSE.inc();
+        }
+        scratch.used = true;
+        scratch.prepare(n);
+        let MatchScratch {
+            per_attr,
+            seen,
+            state,
+            matched_words,
+            token,
+            outcome,
+            ..
+        } = scratch;
+        outcome.matched.clear();
+        let mut stats = MatchStats::default();
+        let (lo, hi) = plan.probe_into(
+            event,
+            &self.strings,
+            self.intern.required_slice(),
+            per_attr,
+            state,
+            seen,
+            matched_words,
+            token,
+            &mut stats,
+        );
+        if lo <= hi {
+            // Indexed on purpose: each word is read *and* cleared in
+            // place, and `w` feeds the dense-id reconstruction below.
+            #[allow(clippy::needless_range_loop)]
+            for w in lo..=hi {
+                let mut bits = matched_words[w];
+                matched_words[w] = 0;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    outcome
+                        .matched
+                        .push(self.intern.resolve((w * 64 + b) as DenseId));
+                }
+            }
+        }
+        outcome.stats = stats;
+        outcome
+    }
+
+    /// The pre-plan dense counter kernel, retained as a differential
+    /// reference (proptests pin `plan == dense == scan`) and for the
+    /// benchmark's kernel-vs-kernel comparison.
+    ///
+    /// One `O(P)` pass over the `P` collected dense postings: per
+    /// posting the kernel bumps an epoch-stamped `hits` counter (lazily
+    /// invalidated by the event epoch, so nothing is cleared between
+    /// events); a second per-attribute stamp deduplicates subscriptions
+    /// holding several satisfied constraints on one attribute. Unlike
+    /// the compiled-plan path this copies each satisfied row's `IdList`
+    /// into a per-attribute buffer and revisits every touched id in a
+    /// second pass.
+    pub fn match_event_dense_into<'s>(
+        &self,
+        event: &Event,
+        scratch: &'s mut MatchScratch,
+    ) -> &'s MatchOutcome {
+        let _span = STAGE_MATCH.start();
+        if scratch.used {
+            CNT_SCRATCH_REUSE.inc();
+        }
+        scratch.used = true;
+        scratch.prepare(self.intern.len());
         let MatchScratch {
             per_attr,
             hits,
@@ -596,26 +685,11 @@ impl BrokerSummary {
             matched_words,
             token,
             outcome,
-            used,
+            ..
         } = scratch;
-        if *used {
-            CNT_SCRATCH_REUSE.inc();
-        }
-        *used = true;
         outcome.matched.clear();
         touched.clear();
         let mut stats = MatchStats::default();
-        // Grow the per-id arrays to this summary's population — the only
-        // allocation path; at steady state the arrays already fit.
-        let n = self.intern.len();
-        if hits.len() < n {
-            hits.resize(n, 0);
-            stamp.resize(n, 0);
-            seen.resize(n, 0);
-        }
-        if matched_words.len() < n.div_ceil(64) {
-            matched_words.resize(n.div_ceil(64), 0);
-        }
         // Epoch stamping: one fresh token for the event, then one per
         // attribute. Stale array entries never compare equal to a fresh
         // token, so no clearing pass is needed.
@@ -868,6 +942,22 @@ impl BrokerSummary {
                 && dense.iter().enumerate().all(|(i, &d)| i == d as usize),
             "intern table out of sync with the summary rows"
         );
+        // Plan/summary coherence: a cached compiled plan must equal a
+        // fresh compile of the current rows. (Deterministic: both
+        // compiles iterate the same literal-map instances, so the arena
+        // layout comes out identical.)
+        if let Some(cached) = self.plan.cached() {
+            let fresh = MatchPlan::compile(
+                &self.arith,
+                &self.strings,
+                0,
+                self.intern.len() as DenseId,
+            );
+            assert!(
+                *cached == fresh,
+                "cached match plan out of sync with the summary rows"
+            );
+        }
     }
 }
 
@@ -905,6 +995,10 @@ pub struct MatchScratch {
     /// Attribute-token stamps deduplicating postings within one
     /// attribute (replaces the old per-attribute sort + dedup).
     seen: Vec<u64>,
+    /// Packed `(epoch << 16) | count` words of the compiled-plan kernel:
+    /// one load and one store per posting replace the separate
+    /// `stamp`/`hits` pair of the dense reference kernel.
+    state: Vec<u64>,
     /// Distinct dense ids hit by the current event (the candidates).
     touched: Vec<DenseId>,
     /// Bitmap over dense ids marking the matched ones; zeroed again
@@ -930,6 +1024,23 @@ impl MatchScratch {
     /// served by this scratch.
     pub fn outcome(&self) -> &MatchOutcome {
         &self.outcome
+    }
+
+    /// Sizes every per-dense-id array to population `n` in one shot —
+    /// the matcher's only allocation path. The arrays grow together, so
+    /// a scratch that has served a summary of `n` ids never allocates
+    /// again for populations `<= n`; each growth event (first use, or a
+    /// larger summary) bumps `match.scratch_grows`, which steady-state
+    /// workloads must keep at zero.
+    fn prepare(&mut self, n: usize) {
+        if self.hits.len() < n {
+            CNT_SCRATCH_GROWS.inc();
+            self.hits.resize(n, 0);
+            self.stamp.resize(n, 0);
+            self.seen.resize(n, 0);
+            self.state.resize(n, 0);
+            self.matched_words.resize(n.div_ceil(64), 0);
+        }
     }
 }
 
@@ -1410,6 +1521,58 @@ mod tests {
         summary.intern.ids.pop();
         summary.intern.required.pop();
         summary.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cached match plan out of sync")]
+    fn validate_rejects_stale_cached_plan_arith() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
+        // Compile and cache the plan, then swap two populated AACS slots
+        // behind the API's back: both attributes are arithmetic, so
+        // every row-level validate check still passes — only the
+        // plan-coherence cross-check can catch the stale cache.
+        summary.match_event(&fig2_event(&schema));
+        let price = schema.attr_id("price").unwrap().index();
+        let volume = schema.attr_id("volume").unwrap().index();
+        summary.arith.swap(price, volume);
+        summary.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cached match plan out of sync")]
+    fn validate_rejects_stale_cached_plan_strings() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
+        summary.match_event(&fig2_event(&schema));
+        let exchange = schema.attr_id("exchange").unwrap().index();
+        let symbol = schema.attr_id("symbol").unwrap().index();
+        summary.strings.swap(exchange, symbol);
+        summary.validate();
+    }
+
+    #[test]
+    fn dense_reference_kernel_agrees_with_plan() {
+        let schema = schema();
+        let mut summary = BrokerSummary::new(schema.clone());
+        summary.insert(BrokerId(0), LocalSubId(1), &sub1(&schema));
+        summary.insert(BrokerId(0), LocalSubId(2), &sub2(&schema));
+        let e = fig2_event(&schema);
+        let mut plan_scratch = MatchScratch::new();
+        let mut dense_scratch = MatchScratch::new();
+        let plan = summary.match_event_into(&e, &mut plan_scratch).clone();
+        let dense = summary
+            .match_event_dense_into(&e, &mut dense_scratch)
+            .clone();
+        assert_eq!(plan.matched, dense.matched);
+        assert_eq!(plan.stats.candidates, dense.stats.candidates);
+        assert_eq!(plan.stats.rows_scanned, dense.stats.rows_scanned);
+        assert_eq!(plan.stats.rows_pruned, dense.stats.rows_pruned);
+        assert_eq!(plan.stats.ids_collected, dense.stats.ids_collected);
     }
 
     #[test]

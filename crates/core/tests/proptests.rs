@@ -560,6 +560,122 @@ proptest! {
         }
     }
 
+    /// Differential check of the compiled-plan kernel on churn-built
+    /// summaries: after interleaved inserts and removals (which
+    /// invalidate and lazily recompile the plan), the plan path
+    /// (`match_event_into`), the dense reference kernel
+    /// (`match_event_dense_into`) and the naive `match_event_scan` must
+    /// return identical sorted id sets — and compiling the plan must
+    /// leave the wire bytes and digest untouched, since plans are
+    /// derived state that never travels.
+    #[test]
+    fn plan_kernel_identical_to_dense_and_scan_under_churn(
+        subs in proptest::collection::vec(subscription(), 2..8),
+        more in proptest::collection::vec(subscription(), 1..5),
+        remove_mask in proptest::collection::vec(any::<bool>(), 2..8),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let layout = IdLayout::new(24, 1024, schema.len() as u32).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let mut summary = BrokerSummary::new(schema.clone());
+        let mut inserted = Vec::new();
+        for (i, raw) in subs.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                inserted.push(summary.insert(BrokerId(0), LocalSubId(i as u32), &sub));
+            }
+        }
+        // Interleave matching with the churn so stale plans are compiled,
+        // invalidated by the removals, and recompiled.
+        if let Some(raw_event) = events.first() {
+            summary.match_event(&build_event(&schema, raw_event));
+        }
+        for (i, id) in inserted.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                summary.remove(*id);
+            }
+        }
+        for (i, raw) in more.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                summary.insert(BrokerId(1), LocalSubId(1000 + i as u32), &sub);
+            }
+        }
+        check_invariants(&summary);
+        let bytes_before = codec.encode(&summary).unwrap();
+        let digest_before = summary.digest();
+        let mut plan_scratch = MatchScratch::new();
+        let mut dense_scratch = MatchScratch::new();
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            let plan = summary.match_event_into(&event, &mut plan_scratch).matched.clone();
+            let dense = summary
+                .match_event_dense_into(&event, &mut dense_scratch)
+                .matched
+                .clone();
+            let scanned = summary.match_event_scan(&event).matched;
+            prop_assert_eq!(&plan, &dense);
+            prop_assert_eq!(&plan, &scanned);
+        }
+        let mut shard_scratch = ShardScratch::new();
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedSummary::from_flat(summary.clone(), shards);
+            check_sharded_invariants(&sharded);
+            for raw_event in &events {
+                let event = build_event(&schema, raw_event);
+                let got = sharded.match_event_into(&event, &mut shard_scratch).matched.clone();
+                prop_assert_eq!(got, summary.match_event(&event), "shards={}", shards);
+            }
+        }
+        // Matching compiled and cached a plan; the canonical
+        // representation must be byte-identical to before.
+        check_invariants(&summary);
+        prop_assert_eq!(codec.encode(&summary).unwrap(), bytes_before);
+        prop_assert_eq!(summary.digest(), digest_before);
+    }
+
+    /// The dense reference kernel also agrees with the compiled plan on
+    /// merged and wire-roundtripped summaries, where the intern table was
+    /// renumbered (merge) or rebuilt from scratch (decode).
+    #[test]
+    fn dense_reference_identical_on_merged_and_decoded(
+        subs_a in proptest::collection::vec(subscription(), 1..5),
+        subs_b in proptest::collection::vec(subscription(), 1..5),
+        events in proptest::collection::vec(event_strategy(), 1..6)) {
+        let schema = stock_schema();
+        let layout = IdLayout::new(24, 1024, schema.len() as u32).unwrap();
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let mut a = BrokerSummary::new(schema.clone());
+        let mut b = BrokerSummary::new(schema.clone());
+        for (i, raw) in subs_a.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                a.insert(BrokerId((i % 3) as u16 * 2), LocalSubId(i as u32), &sub);
+            }
+        }
+        for (i, raw) in subs_b.iter().enumerate() {
+            if let Some(sub) = build_sub(&schema, raw) {
+                b.insert(BrokerId((i % 3) as u16 * 2 + 1), LocalSubId(i as u32), &sub);
+            }
+        }
+        a.merge(&b);
+        check_invariants(&a);
+        let decoded = codec.decode(&codec.encode(&a).unwrap(), &schema).unwrap();
+        check_invariants(&decoded);
+        let mut plan_scratch = MatchScratch::new();
+        let mut dense_scratch = MatchScratch::new();
+        for raw_event in &events {
+            let event = build_event(&schema, raw_event);
+            for summary in [&a, &decoded] {
+                let plan = summary.match_event_into(&event, &mut plan_scratch).matched.clone();
+                let dense = summary
+                    .match_event_dense_into(&event, &mut dense_scratch)
+                    .matched
+                    .clone();
+                let scanned = summary.match_event_scan(&event).matched;
+                prop_assert_eq!(&plan, &dense);
+                prop_assert_eq!(&plan, &scanned);
+            }
+        }
+    }
+
     /// Differential check of the sharded matcher on wire-roundtrip-built
     /// summaries: decode rebuilds the intern table, sharding derives the
     /// partition from it, and the result must match the original flat

@@ -160,10 +160,11 @@ fn match_event_into_allocates_nothing_at_steady_state() {
     );
 }
 
-/// The dense epoch-counter kernel at a large subscription population:
-/// once warm-up has grown the scratch counter arrays to the summary's
-/// dense-id space, matching must stay allocation-free even when hundreds
-/// of candidates are touched per event across several attributes.
+/// The compiled-plan epoch-counter kernel at a large subscription
+/// population: once warm-up has compiled the plan and grown the scratch
+/// counter arrays to the summary's dense-id space, matching must stay
+/// allocation-free even when hundreds of candidates are touched per
+/// event across several attributes.
 #[test]
 fn dense_kernel_allocates_nothing_with_large_population() {
     let schema = stock_schema();
@@ -238,6 +239,100 @@ fn dense_kernel_allocates_nothing_with_large_population() {
     assert!(
         zero_delta,
         "large-population dense kernel allocated ({last_delta} allocations \
+         across {PASSES} passes)"
+    );
+}
+
+/// The compiled-plan probe path specifically: a mutation invalidates the
+/// cached [`MatchPlan`], the next match recompiles it (warm-up — that
+/// pass may allocate), and every match after that probes the frozen plan
+/// with zero allocations. The population deliberately stacks several
+/// wildcard patterns and a literal on the same string attribute so the
+/// multi-contributor dedup path (seen-stamp postings walk) runs every
+/// event, alongside AACS range and point banks.
+#[test]
+fn compiled_plan_probe_allocates_nothing_once_plan_is_warm() {
+    let schema = stock_schema();
+    let mut summary = BrokerSummary::new(schema.clone());
+
+    for i in 0..400u32 {
+        let lo = (i % 40) as f64;
+        let mut b = Subscription::builder(&schema)
+            .num("price", NumOp::Ge, lo)
+            .unwrap()
+            .num("price", NumOp::Lt, lo + 20.0)
+            .unwrap();
+        // Overlapping prefix, suffix and literal rows on `symbol`: every
+        // probe of the attribute selects several candidate rows, so the
+        // dedup (multi-contributor) postings walk is exercised.
+        b = match i % 4 {
+            0 => b.str_op("symbol", StrOp::Prefix, "AB").unwrap(),
+            1 => b.str_op("symbol", StrOp::Suffix, "BA").unwrap(),
+            2 => b.str_op("symbol", StrOp::Eq, "ABBA").unwrap(),
+            _ => b.str_op("symbol", StrOp::Contains, "BB").unwrap(),
+        };
+        if i % 5 == 0 {
+            b = b.num("volume", NumOp::Eq, (i % 8) as f64 * 100.0).unwrap();
+        }
+        summary.insert(BrokerId(2), LocalSubId(i), &b.build().unwrap());
+    }
+
+    let events: Vec<Event> = (0..6)
+        .map(|k| {
+            Event::builder(&schema)
+                .num("price", 5.0 + k as f64 * 6.0)
+                .unwrap()
+                .num("volume", (k % 8) as f64 * 100.0)
+                .unwrap()
+                .str("symbol", "ABBA".to_string())
+                .unwrap()
+                .build()
+        })
+        .collect();
+
+    let mut scratch = MatchScratch::new();
+
+    // First warm-up: compiles the initial plan and grows the scratch.
+    let mut warm: usize = events
+        .iter()
+        .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+        .sum();
+
+    // Invalidate the cached plan with one more insert, then warm up
+    // again — this pass recompiles the plan (allocations allowed).
+    let extra = Subscription::builder(&schema)
+        .num("price", NumOp::Lt, 1.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    summary.insert(BrokerId(2), LocalSubId(400), &extra);
+    warm += events
+        .iter()
+        .map(|e| summary.match_event_into(e, &mut scratch).matched.len())
+        .sum::<usize>();
+    assert!(warm > 0, "fixture must produce matches");
+
+    const PASSES: usize = 50;
+    let mut zero_delta = false;
+    let mut last_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut total = 0usize;
+        for _ in 0..PASSES {
+            for e in &events {
+                total += summary.match_event_into(e, &mut scratch).matched.len();
+            }
+        }
+        std::hint::black_box(total);
+        last_delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if last_delta == 0 {
+            zero_delta = true;
+            break;
+        }
+    }
+    assert!(
+        zero_delta,
+        "compiled-plan probe path allocated ({last_delta} allocations \
          across {PASSES} passes)"
     );
 }

@@ -28,6 +28,14 @@ pub const MATCH_DENSE_HITS: &str = "match.dense_hits";
 pub const MATCH_INTERN_REBUILDS: &str = "match.intern_rebuilds";
 /// Out-of-order inserts that renumbered existing dense postings.
 pub const MATCH_INTERN_RENUMBERS: &str = "match.intern_renumbers";
+/// Compiled match-plan builds (lazy flat rebuilds plus per-shard
+/// snapshot compiles).
+pub const MATCH_PLAN_REBUILDS: &str = "match.plan_rebuilds";
+/// Plan rows whose posting slices fed the compiled counter kernel.
+pub const MATCH_PLAN_PROBE_ROWS: &str = "match.plan_probe_rows";
+/// Match-scratch growth events (array resizes to a larger population);
+/// steady-state matching against a fixed summary records zero.
+pub const MATCH_SCRATCH_GROWS: &str = "match.scratch_grows";
 /// SACS wildcard rows actually tested (index-selected plus literal hits).
 pub const SACS_INDEX_HITS: &str = "sacs.index_hits";
 /// SACS wildcard rows the anchor buckets skipped without testing.
@@ -105,6 +113,9 @@ mod tests {
             super::MATCH_DENSE_HITS,
             super::MATCH_INTERN_REBUILDS,
             super::MATCH_INTERN_RENUMBERS,
+            super::MATCH_PLAN_REBUILDS,
+            super::MATCH_PLAN_PROBE_ROWS,
+            super::MATCH_SCRATCH_GROWS,
             super::SACS_INDEX_HITS,
             super::SACS_ROWS_PRUNED,
             super::MATCH_SHARD_FANOUT,

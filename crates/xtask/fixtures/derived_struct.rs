@@ -17,3 +17,11 @@ pub struct DenseSummary {
     pub rows: Vec<u32>,
     intern: InternTable, // lint: derived
 }
+
+/// Compiled match-plan shape: the columnar plan (key banks plus the
+/// postings arena) is compiled from the rows, cached, and rebuilt after
+/// decode; it must never appear in a wire codec.
+pub struct PlannedSummary {
+    pub rows: Vec<u32>,
+    plan: MatchPlan, // lint: derived
+}

@@ -15,3 +15,9 @@ pub fn encode_dense(s: &DenseSummary, out: &mut Vec<u8>) {
         out.extend_from_slice(&count.to_be_bytes());
     }
 }
+
+pub fn encode_planned(s: &PlannedSummary, out: &mut Vec<u8>) {
+    // Serializing the compiled plan's arena is the same bug again: the
+    // plan is recompiled lazily after decode, never shipped.
+    out.extend_from_slice(&(s.plan.arena.len() as u32).to_be_bytes());
+}

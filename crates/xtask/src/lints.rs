@@ -128,6 +128,7 @@ impl CheckConfig {
             ],
             panic_roots: vec![
                 "match_event_into".into(),
+                "probe_into".into(),
                 "query_into".into(),
                 "route_event*".into(),
                 "publish_batch".into(),
@@ -923,12 +924,14 @@ mod tests {
         cfg.scan_files = vec![PathBuf::from("derived_struct.rs")];
         cfg.wire_files = vec![PathBuf::from("derived_wire_bad.rs")];
         let v = run_check(&cfg).unwrap();
-        // One anchor_index reference, two intern-table references and one
-        // required-counts reference; the comment mentions must not fire.
-        assert_eq!(rules(&v), vec!["derived-state"; 4], "{v:#?}");
+        // One anchor_index reference, two intern-table references, one
+        // required-counts reference and one compiled-plan reference; the
+        // comment mentions must not fire.
+        assert_eq!(rules(&v), vec!["derived-state"; 5], "{v:#?}");
         assert!(v.iter().any(|x| x.msg.contains("`anchor_index`")));
         assert!(v.iter().any(|x| x.msg.contains("`intern`")));
         assert!(v.iter().any(|x| x.msg.contains("`required`")));
+        assert!(v.iter().any(|x| x.msg.contains("`plan`")));
     }
 
     #[test]
