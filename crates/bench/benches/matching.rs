@@ -164,7 +164,12 @@ fn bench_matching(c: &mut Criterion) {
             b.iter(|| {
                 events
                     .iter()
-                    .map(|e| summary.match_event_dense_into(e, &mut scratch).matched.len())
+                    .map(|e| {
+                        summary
+                            .match_event_dense_into(e, &mut scratch)
+                            .matched
+                            .len()
+                    })
                     .sum::<usize>()
             })
         },

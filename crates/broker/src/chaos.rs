@@ -63,6 +63,7 @@ use subsum_types::{
 };
 
 use crate::snapshot::BrokerCheckpoint;
+use crate::transport::Transport;
 
 static CNT_DROPS: Count = Count::new(subsum_telemetry::names::CHAOS_DROPS);
 static CNT_DUPS: Count = Count::new(subsum_telemetry::names::CHAOS_DUPS);
@@ -181,8 +182,14 @@ struct ChaosBroker {
     checkpoint: Option<Vec<u8>>,
 }
 
+/// The summary-synchronization protocol messages of a chaos run.
+///
+/// Public so scenarios can be driven over any [`Transport`]
+/// implementation (see [`ChaosRun::run_with`]); the payload-carrying
+/// variants are exactly the anti-entropy protocol a real deployment
+/// speaks, the control variants are simulation-only events.
 #[derive(Debug, Clone)]
-enum ChaosMsg {
+pub enum ChaosMsg {
     /// Full summary of the sender (view replacement — idempotent).
     Update(BrokerSummary),
     /// Digest advertisement of the sender's own summary.
@@ -347,7 +354,9 @@ impl ChaosRun {
 
     /// Executes the scenario to quiescence: initial summary wave, the
     /// fault plan's crashes/cuts/drops, `repair_rounds` anti-entropy
-    /// rounds, until the event queue drains.
+    /// rounds, until the event queue drains. Equivalent to
+    /// [`ChaosRun::run_with`] over a fresh [`LossyNet`] governed by the
+    /// run's fault plan.
     ///
     /// # Errors
     ///
@@ -358,6 +367,22 @@ impl ChaosRun {
         if let Some(tracer) = &self.tracer {
             net.set_tracer(Arc::clone(tracer));
         }
+        self.run_with(&mut net)
+    }
+
+    /// Executes the scenario over an arbitrary [`Transport`]. The
+    /// protocol logic is written once against the trait; the simulator
+    /// path ([`ChaosRun::run`]) and a socket-backed deployment drive
+    /// the exact same code.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if a summary exceeds the wire layout
+    /// (cannot happen for schema-consistent runs).
+    pub fn run_with<T: Transport<ChaosMsg>>(
+        &mut self,
+        net: &mut T,
+    ) -> Result<ChaosReport, TypeError> {
         let mut stats = ChaosStats::default();
         let mut crash_snapshots = Vec::new();
         let n = self.brokers.len() as NodeId;
@@ -365,14 +390,24 @@ impl ChaosRun {
         // Schedule the plan's crash/restart control events and the
         // anti-entropy rounds up front; everything else is reactive.
         for crash in &self.plan.crashes.clone() {
-            net.schedule(crash.broker, crash.at, ChaosMsg::Crash);
+            net.schedule(crash.broker, crash.at, TraceCtx::NONE, ChaosMsg::Crash);
             if crash.restart_at != u64::MAX {
-                net.schedule(crash.broker, crash.restart_at, ChaosMsg::Restart);
+                net.schedule(
+                    crash.broker,
+                    crash.restart_at,
+                    TraceCtx::NONE,
+                    ChaosMsg::Restart,
+                );
             }
         }
         for round in 1..=self.config.repair_rounds as u64 {
             for b in 0..n {
-                net.schedule(b, round * self.config.repair_interval, ChaosMsg::RepairTick);
+                net.schedule(
+                    b,
+                    round * self.config.repair_interval,
+                    TraceCtx::NONE,
+                    ChaosMsg::RepairTick,
+                );
             }
         }
 
@@ -381,13 +416,13 @@ impl ChaosRun {
         // sibling spans of a single trace.
         for b in 0..n {
             let ctx = self.root();
-            self.send_update_to_neighbors(&mut net, &mut stats, b, ctx)?;
+            self.send_update_to_neighbors(&mut *net, &mut stats, b, ctx)?;
         }
 
         let quiet_after = self.plan_quiet_after();
         let empty_digest = BrokerSummary::new(self.schema.clone()).digest();
         let mut converged_at = None;
-        while let Some((time, env)) = net.pop() {
+        while let Some((time, env)) = net.recv() {
             let me = env.to;
             // Reactive sends extend the causal chain of the message that
             // triggered them; the parent already points at this
@@ -411,19 +446,13 @@ impl ChaosRun {
                             stats.resyncs += 1;
                             stats.pulls += 1;
                             stats.pull_bytes += PULL_BYTES;
-                            net.send_traced(
-                                me,
-                                env.from,
-                                self.config.link_delay,
-                                ctx,
-                                ChaosMsg::Pull,
-                            );
+                            net.send(me, env.from, self.config.link_delay, ctx, ChaosMsg::Pull);
                         }
                     }
                 }
                 ChaosMsg::Pull => {
                     if self.brokers[me as usize].alive {
-                        self.send_update(&mut net, &mut stats, me, env.from, ctx)?;
+                        self.send_update(&mut *net, &mut stats, me, env.from, ctx)?;
                     }
                 }
                 ChaosMsg::Crash => {
@@ -450,11 +479,11 @@ impl ChaosRun {
                     // Announce the recovered summary and re-learn every
                     // neighbor's. Recovery is a fresh causal origin.
                     let ctx = self.root();
-                    self.send_update_to_neighbors(&mut net, &mut stats, me, ctx)?;
+                    self.send_update_to_neighbors(&mut *net, &mut stats, me, ctx)?;
                     for &nb in self.topology.neighbors(me).to_vec().iter() {
                         stats.pulls += 1;
                         stats.pull_bytes += PULL_BYTES;
-                        net.send_traced(me, nb, self.config.link_delay, ctx, ChaosMsg::Pull);
+                        net.send(me, nb, self.config.link_delay, ctx, ChaosMsg::Pull);
                     }
                 }
                 ChaosMsg::RepairTick => {
@@ -463,13 +492,13 @@ impl ChaosRun {
                         // fresh causal origin.
                         let ctx = self.root();
                         if self.config.naive_repair {
-                            self.send_update_to_neighbors(&mut net, &mut stats, me, ctx)?;
+                            self.send_update_to_neighbors(&mut *net, &mut stats, me, ctx)?;
                         } else {
                             let digest = self.brokers[me as usize].own.digest();
                             for &nb in self.topology.neighbors(me).to_vec().iter() {
                                 stats.digest_msgs += 1;
                                 stats.digest_bytes += SummaryDigest::WIRE_BYTES as u64;
-                                net.send_traced(
+                                net.send(
                                     me,
                                     nb,
                                     self.config.link_delay,
@@ -486,7 +515,7 @@ impl ChaosRun {
             }
         }
 
-        let fault = *net.stats();
+        let fault = net.fault_stats();
         stats.offered = fault.offered;
         stats.delivered = fault.delivered;
         stats.dropped = fault.dropped;
@@ -548,9 +577,9 @@ impl ChaosRun {
         }
     }
 
-    fn send_update(
+    fn send_update<T: Transport<ChaosMsg>>(
         &mut self,
-        net: &mut LossyNet<ChaosMsg>,
+        net: &mut T,
         stats: &mut ChaosStats,
         from: NodeId,
         to: NodeId,
@@ -559,7 +588,7 @@ impl ChaosRun {
         let summary = self.brokers[from as usize].own.clone();
         stats.full_updates += 1;
         stats.full_summary_bytes += self.codec.encoded_len(&summary)? as u64;
-        net.send_traced(
+        net.send(
             from,
             to,
             self.config.link_delay,
@@ -569,9 +598,9 @@ impl ChaosRun {
         Ok(())
     }
 
-    fn send_update_to_neighbors(
+    fn send_update_to_neighbors<T: Transport<ChaosMsg>>(
         &mut self,
-        net: &mut LossyNet<ChaosMsg>,
+        net: &mut T,
         stats: &mut ChaosStats,
         from: NodeId,
         ctx: TraceCtx,

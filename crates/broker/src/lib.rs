@@ -49,9 +49,11 @@ pub mod routing;
 pub mod runtime;
 mod snapshot;
 mod system;
+pub mod transport;
 
-pub use chaos::{ChaosConfig, ChaosReport, ChaosRun, ChaosStats};
+pub use chaos::{ChaosConfig, ChaosMsg, ChaosReport, ChaosRun, ChaosStats};
 pub use propagation::{propagate, MergedSummary, PropagationOutcome, PropagationSend};
 pub use routing::{route_event, Notification, RoutingOptions, RoutingOutcome};
 pub use snapshot::{BrokerCheckpoint, SnapshotError};
 pub use system::{Delivery, PublishOutcome, SummaryPubSub};
+pub use transport::Transport;

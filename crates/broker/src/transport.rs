@@ -1,0 +1,122 @@
+//! The transport seam between broker logic and message delivery.
+//!
+//! Broker protocols in this crate — summary propagation, anti-entropy
+//! repair, event routing — are written against the [`Transport`] trait
+//! rather than a concrete network. Two implementations exist:
+//!
+//! * the deterministic simulator ([`LossyNet`], in `subsum-net`), where
+//!   "time" is discrete-event ticks and a seeded [`FaultPlan`]
+//!   (`subsum_net::FaultPlan`) decides drops, duplicates, delays,
+//!   partitions and crashes — every chaos test runs here;
+//! * real sockets (`TcpTransport` in `subsum-transport`), where "time"
+//!   is wall-clock milliseconds and the operating system decides.
+//!
+//! The contract is deliberately the smallest surface the protocols
+//! need:
+//!
+//! * [`Transport::send`] offers one broker message on a directed link;
+//!   delivery is best-effort (the simulator may drop it, a socket may
+//!   break) and ordering is guaranteed only per link, not globally.
+//! * [`Transport::schedule`] plants a control event at a broker after a
+//!   delay; control events are exempt from fault injection — timers
+//!   must fire even on a partitioned or crashed broker.
+//! * [`Transport::recv`] returns the next deliverable envelope and
+//!   advances the transport clock; `None` means quiescence (simulator:
+//!   queue drained; sockets: shutdown).
+//!
+//! Protocols driven through this seam must therefore already tolerate
+//! loss, duplication and reordering across links — which the summary
+//! exchange does by construction (view-replacement updates are
+//! idempotent, digests detect divergence, pulls repair it). That is
+//! what makes the trait honest: code that converges under a chaos
+//! [`FaultPlan`](subsum_net::FaultPlan) needs no changes to run over
+//! TCP.
+
+use subsum_net::{Envelope, FaultStats, LossyNet, NodeId};
+use subsum_telemetry::trace::TraceCtx;
+
+/// A best-effort, per-link-ordered message fabric for broker protocols.
+///
+/// See the [module docs](self) for the delivery contract. `M` is the
+/// protocol message type; implementations never inspect it.
+pub trait Transport<M> {
+    /// Offers a broker message on the directed link `from → to` with a
+    /// base transit delay in transport ticks. Delivery is best-effort.
+    fn send(&mut self, from: NodeId, to: NodeId, delay: u64, ctx: TraceCtx, msg: M);
+
+    /// Schedules a control event at `broker` after `delay` ticks,
+    /// exempt from fault injection (timers fire on dead brokers too).
+    fn schedule(&mut self, broker: NodeId, delay: u64, ctx: TraceCtx, msg: M);
+
+    /// Pops the next deliverable envelope, advancing the transport
+    /// clock. `None` means the transport is quiescent.
+    fn recv(&mut self) -> Option<(u64, Envelope<M>)>;
+
+    /// The current transport time (simulator ticks or milliseconds).
+    fn now(&self) -> u64;
+
+    /// Delivery counters accumulated so far.
+    fn fault_stats(&self) -> FaultStats;
+}
+
+impl<M: Clone> Transport<M> for LossyNet<M> {
+    fn send(&mut self, from: NodeId, to: NodeId, delay: u64, ctx: TraceCtx, msg: M) {
+        self.send_traced(from, to, delay, ctx, msg);
+    }
+
+    fn schedule(&mut self, broker: NodeId, delay: u64, ctx: TraceCtx, msg: M) {
+        self.schedule_traced(broker, delay, ctx, msg);
+    }
+
+    fn recv(&mut self) -> Option<(u64, Envelope<M>)> {
+        self.pop()
+    }
+
+    fn now(&self) -> u64 {
+        LossyNet::now(self)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        *self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsum_net::FaultPlan;
+
+    /// A driver written only against the trait must behave identically
+    /// to one calling the simulator directly.
+    fn drive<T: Transport<u32>>(net: &mut T) -> Vec<(u64, NodeId, u32)> {
+        for i in 0..5u32 {
+            net.send(0, 1, u64::from(i), TraceCtx::NONE, i);
+        }
+        net.schedule(1, 2, TraceCtx::NONE, 99);
+        let mut got = Vec::new();
+        while let Some((t, env)) = net.recv() {
+            got.push((t, env.to, env.payload));
+        }
+        got
+    }
+
+    #[test]
+    fn lossy_net_impl_matches_direct_use() {
+        let mut via_trait: LossyNet<u32> = LossyNet::new(FaultPlan::reliable(3));
+        let seen = drive(&mut via_trait);
+
+        let mut direct: LossyNet<u32> = LossyNet::new(FaultPlan::reliable(3));
+        for i in 0..5u32 {
+            direct.send(0, 1, u64::from(i), i);
+        }
+        direct.schedule(1, 2, 99);
+        let mut expect = Vec::new();
+        while let Some((t, env)) = direct.pop() {
+            expect.push((t, env.to, env.payload));
+        }
+
+        assert_eq!(seen, expect);
+        assert_eq!(via_trait.fault_stats(), *direct.stats());
+        assert_eq!(Transport::<u32>::now(&via_trait), direct.now());
+    }
+}

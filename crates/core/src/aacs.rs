@@ -380,7 +380,9 @@ impl RangeSummary {
         // compiled plan's probe relies on it to skip per-attribute
         // dedup on arithmetic banks.
         for (v, ids) in &self.points {
-            let idx = self.ranges.partition_point(|row| upper_below(&row.interval, *v));
+            let idx = self
+                .ranges
+                .partition_point(|row| upper_below(&row.interval, *v));
             let Some(row) = self.ranges.get(idx) else {
                 continue;
             };

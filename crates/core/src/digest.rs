@@ -128,9 +128,10 @@ impl SummaryDigest {
     /// Big-endian serialization: `count · id_hash · structure`.
     pub fn to_bytes(&self) -> [u8; Self::WIRE_BYTES] {
         let mut out = [0u8; Self::WIRE_BYTES];
+        // BOUND: constant ranges inside the fixed 24-byte array.
         out[..8].copy_from_slice(&self.count.to_be_bytes());
         out[8..16].copy_from_slice(&self.id_hash.to_be_bytes());
-        out[16..].copy_from_slice(&self.structure.to_be_bytes());
+        out[16..].copy_from_slice(&self.structure.to_be_bytes()); // BOUND: ditto
         out
     }
 

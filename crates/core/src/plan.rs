@@ -153,7 +153,12 @@ impl ArithBank {
     /// rebased to `d - lo`, appending postings to `arena`. `None` when
     /// no posting survives. The flat summary compiles with `lo = 0`,
     /// `hi = population`.
-    fn build(src: &RangeSummary, lo: DenseId, hi: DenseId, arena: &mut Vec<DenseId>) -> Option<ArithBank> {
+    fn build(
+        src: &RangeSummary,
+        lo: DenseId,
+        hi: DenseId,
+        arena: &mut Vec<DenseId>,
+    ) -> Option<ArithBank> {
         let mut bank = ArithBank::default();
         bank.range_offsets.push(arena.len() as u32);
         for row in src.ranges() {
@@ -209,7 +214,8 @@ impl StringBank {
         for (lit, ids) in src.literal_rows() {
             let start = arena.len() as u32;
             arena.extend_from_slice(ids);
-            bank.literals.insert(lit.clone(), (start, arena.len() as u32));
+            bank.literals
+                .insert(lit.clone(), (start, arena.len() as u32));
         }
         for ids in src.wildcard_postings() {
             let start = arena.len() as u32;
@@ -257,7 +263,9 @@ impl MatchPlan {
             plan.arith.push(bank);
         }
         for slot in strings {
-            let bank = slot.as_ref().and_then(|s| StringBank::build(s, &mut plan.arena));
+            let bank = slot
+                .as_ref()
+                .and_then(|s| StringBank::build(s, &mut plan.arena));
             plan.strings.push(bank);
         }
         plan
@@ -334,7 +342,8 @@ impl MatchPlan {
                         point_slice = &self.arena[a..b];
                     }
                 }
-                probe_rows += u64::from(!range_slice.is_empty()) + u64::from(!point_slice.is_empty());
+                probe_rows +=
+                    u64::from(!range_slice.is_empty()) + u64::from(!point_slice.is_empty());
                 // Both slices are internally sorted-dedup, and per-id
                 // disjoint across each other (see the method docs), so
                 // every posting is a distinct id for this attribute.

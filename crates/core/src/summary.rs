@@ -97,7 +97,7 @@ impl InternTable {
     }
 
     /// The full id behind dense id `d`.
-    fn resolve(&self, d: DenseId) -> subsum_types::SubscriptionId {
+    pub(crate) fn resolve(&self, d: DenseId) -> subsum_types::SubscriptionId {
         self.ids[d as usize]
     }
 
@@ -947,12 +947,8 @@ impl BrokerSummary {
         // compiles iterate the same literal-map instances, so the arena
         // layout comes out identical.)
         if let Some(cached) = self.plan.cached() {
-            let fresh = MatchPlan::compile(
-                &self.arith,
-                &self.strings,
-                0,
-                self.intern.len() as DenseId,
-            );
+            let fresh =
+                MatchPlan::compile(&self.arith, &self.strings, 0, self.intern.len() as DenseId);
             assert!(
                 *cached == fresh,
                 "cached match plan out of sync with the summary rows"

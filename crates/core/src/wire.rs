@@ -194,14 +194,62 @@ impl SummaryCodec {
         Ok(w.into_bytes())
     }
 
-    /// The exact byte size [`SummaryCodec::encode`] would produce.
+    /// The exact byte size [`SummaryCodec::encode`] would produce,
+    /// computed arithmetically — no encode pass, no allocation. The
+    /// chaos and bandwidth accounting paths call this per message, so
+    /// sizing must not cost an encode of the full summary.
     ///
     /// # Errors
     ///
     /// Returns [`TypeError::IdOverflow`] under the same conditions as
     /// `encode`.
     pub fn encoded_len(&self, summary: &BrokerSummary) -> Result<usize, TypeError> {
-        Ok(self.encode(summary)?.len())
+        let id_len = self.layout.byte_len();
+        let num_len = self.width.bytes();
+        let dense_ids = summary.intern_table();
+        // An id list costs a u32 count plus `s_id` bytes per id; overflow
+        // is checked per id so the error conditions match `encode`.
+        let idlist_len = |ids: &[crate::idlist::DenseId]| -> Result<usize, TypeError> {
+            for &d in ids {
+                self.layout.encode(dense_ids.resolve(d))?;
+            }
+            // BOUND: in-memory id-list sizes are far below usize::MAX.
+            Ok(4 + ids.len() * id_len)
+        };
+        let schema = summary.schema();
+        let mut len = 1 + 1 + 2; // BOUND: version + width tag + arith attr count
+
+        for (_, s) in schema
+            .arithmetic_attrs()
+            .filter_map(|a| summary.arith_summary(a).map(|s| (a, s)))
+            .filter(|(_, s)| !s.is_empty())
+        {
+            len += 2 + 4 + 4; // BOUND: attr + range count + point count
+            for row in s.ranges() {
+                // Per-row byte counts are far below usize::MAX.
+                // BOUND: 0..=2 finite interval endpoints.
+                let finite = usize::from(!matches!(row.interval.lo(), LowerBound::NegInf))
+                    + usize::from(!matches!(row.interval.hi(), UpperBound::PosInf));
+                // BOUND: as above.
+                len += 1 + finite * num_len + idlist_len(&row.ids)?;
+            }
+            for (_, ids) in s.points() {
+                len += num_len + idlist_len(ids)?; // BOUND: one point row
+            }
+        }
+
+        len += 2; // BOUND: string attr count
+        for (_, s) in schema
+            .string_attrs()
+            .filter_map(|a| summary.string_summary(a).map(|s| (a, s)))
+            .filter(|(_, s)| !s.is_empty())
+        {
+            len += 2 + 4; // BOUND: attr + row count
+            for (pattern, ids) in s.rows() {
+                len += 2 + pattern.wire_size() + idlist_len(ids)?; // BOUND: one row
+            }
+        }
+        Ok(len)
     }
 
     /// Deserializes a summary over `schema`.

@@ -94,6 +94,28 @@ pub const CHAOS_DIGEST_BYTES: &str = "chaos.digest_bytes";
 /// Bytes spent on full summary updates during chaos runs.
 pub const CHAOS_FULL_BYTES: &str = "chaos.full_summary_bytes";
 
+/// Frames written to peer or client sockets (`subsum-transport`).
+pub const TRANSPORT_FRAMES_TX: &str = "transport.frames_tx";
+/// Frames decoded off peer or client sockets.
+pub const TRANSPORT_FRAMES_RX: &str = "transport.frames_rx";
+/// Bytes written to sockets (frame headers included).
+pub const TRANSPORT_BYTES_TX: &str = "transport.bytes_tx";
+/// Bytes read from sockets.
+pub const TRANSPORT_BYTES_RX: &str = "transport.bytes_rx";
+/// Connections dropped for unframeable or unparseable input.
+pub const TRANSPORT_DECODE_ERRORS: &str = "transport.decode_errors";
+/// Peer dials beyond each link's first (epoch re-handshakes).
+pub const TRANSPORT_RECONNECTS: &str = "transport.reconnects";
+/// Handshake digest mismatches that triggered a summary pull.
+pub const TRANSPORT_RESYNCS: &str = "transport.resyncs";
+/// Sends rejected (or, under the blocking policy, stalled) because a
+/// peer's bounded outbound mailbox was full.
+pub const NET_MAILBOX_FULL: &str = "net.mailbox_full";
+/// Client publishes acknowledged as fully accepted.
+pub const PUBLISH_ACKED: &str = "publish.acked";
+/// Client publishes acknowledged as rejected by backpressure.
+pub const PUBLISH_REJECTED: &str = "publish.rejected";
+
 /// Spans recorded into flight recorders by the causal tracer.
 pub const TRACE_SPANS: &str = "trace.spans";
 /// Flight-recorder head-drops (oldest span overwritten by a new one).
@@ -142,6 +164,16 @@ mod tests {
             super::CHAOS_RESYNCS,
             super::CHAOS_DIGEST_BYTES,
             super::CHAOS_FULL_BYTES,
+            super::TRANSPORT_FRAMES_TX,
+            super::TRANSPORT_FRAMES_RX,
+            super::TRANSPORT_BYTES_TX,
+            super::TRANSPORT_BYTES_RX,
+            super::TRANSPORT_DECODE_ERRORS,
+            super::TRANSPORT_RECONNECTS,
+            super::TRANSPORT_RESYNCS,
+            super::NET_MAILBOX_FULL,
+            super::PUBLISH_ACKED,
+            super::PUBLISH_REJECTED,
             super::TRACE_SPANS,
             super::TRACE_HEAD_DROPS,
             super::TRACE_SAMPLED,

@@ -1,0 +1,721 @@
+//! [`Subsumd`]: the standalone summary-routing broker daemon.
+//!
+//! A daemon is one broker of the paper's overlay, serving real sockets:
+//! it accepts peer connections from neighbor daemons and client
+//! connections from subscribers/publishers, all speaking the framed
+//! [`Msg`] protocol. The summary machinery is exactly the in-process
+//! one — `BrokerSummary` for its own subscriptions, one summary *view*
+//! per neighbor, `subsum-core::wire` bytes on the wire — so a daemon
+//! interoperates bit-for-bit with checkpoints and digests produced by
+//! the simulator.
+//!
+//! # Threads and ownership
+//!
+//! One **event loop** thread owns all broker state; everything else is
+//! I/O plumbing feeding it messages over a channel:
+//!
+//! * an **accept** thread turns incoming connections into reader
+//!   threads;
+//! * one **reader** thread per socket decodes frames into [`Msg`]s;
+//! * one **writer** thread per socket drains that connection's bounded
+//!   [`Mailbox`] (see [`crate::session`] for the backpressure policy);
+//! * one **dialer** thread per configured neighbor link establishes
+//!   the outbound connection with backoff; the event loop spawns a
+//!   fresh dialer with a bumped epoch when a dialed link breaks.
+//!
+//! # Sessions, epochs, reconvergence
+//!
+//! Every fresh peer link starts with `Hello`/`HelloAck` carrying the
+//! sender's broker id, its **connection epoch** (a counter the dialer
+//! bumps each dial, so both ends can tell a reconnect from a duplicate
+//! dial), and the [`SummaryDigest`](subsum_core::SummaryDigest) of its
+//! own summary. Each end compares the received digest with its stored
+//! view of that peer and sends `Pull` **only on mismatch** — a
+//! restarted peer that recovered its state from a checkpoint re-joins
+//! without a single summary crossing the wire in its direction, the
+//! same digest-gated anti-entropy the chaos suite proves convergent
+//! under faults.
+//!
+//! # Event flow
+//!
+//! `Subscribe` inserts into the daemon's own summary and eagerly pushes
+//! the updated summary to every connected peer. `Publish` matches the
+//! event against the daemon's own summary (local deliveries) and every
+//! peer view (forwarding a `Route` to each matching neighbor); the
+//! client's `PublishAck` reports `accepted: false` if any required
+//! forward was rejected by backpressure. A `Route` arriving from a peer
+//! is matched against the local summary only and delivered to the
+//! owning clients.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use subsum_broker::BrokerCheckpoint;
+use subsum_core::{ArithWidth, BrokerSummary, SummaryCodec};
+use subsum_telemetry::{names, Count, Counter};
+use subsum_types::{
+    BrokerId, Event, IdLayout, LocalSubId, Schema, Subscription, SubscriptionId, TypeError,
+};
+
+use crate::frame::FrameDecoder;
+use crate::msg::Msg;
+use crate::session::{spawn_writer, BackpressurePolicy, Mailbox, SendOutcome, TxStats};
+
+static CNT_FRAMES_RX: Count = Count::new(names::TRANSPORT_FRAMES_RX);
+static CNT_BYTES_RX: Count = Count::new(names::TRANSPORT_BYTES_RX);
+static CNT_DECODE_ERRORS: Count = Count::new(names::TRANSPORT_DECODE_ERRORS);
+static CNT_RECONNECTS: Count = Count::new(names::TRANSPORT_RECONNECTS);
+static CNT_RESYNCS: Count = Count::new(names::TRANSPORT_RESYNCS);
+static CNT_ACKED: Count = Count::new(names::PUBLISH_ACKED);
+static CNT_REJECTED: Count = Count::new(names::PUBLISH_REJECTED);
+
+/// How long a dialer sleeps between failed connection attempts.
+const REDIAL_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Per-daemon counters, readable while the daemon runs.
+///
+/// The process-global telemetry statics aggregate across every daemon
+/// in the process (fine for a real deployment of one daemon per
+/// process, useless for a test hosting several); these are scoped to
+/// one daemon.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Frames/bytes written by this daemon's writer threads. Shared
+    /// with the writers, hence the extra `Arc`.
+    pub tx: Arc<TxStats>,
+    /// Frames decoded off this daemon's sockets.
+    pub frames_rx: Counter,
+    /// Peer dials beyond each link's first (epoch re-handshakes).
+    pub reconnects: Counter,
+    /// Handshake digest mismatches that triggered a summary pull.
+    pub resyncs: Counter,
+    /// Full summaries received (each one replaces a peer view).
+    pub summaries_rx: Counter,
+    /// Full summaries sent (eager pushes plus pull responses).
+    pub summaries_tx: Counter,
+    /// Client publishes acknowledged as fully accepted.
+    pub acked: Counter,
+    /// Client publishes acknowledged as rejected by backpressure.
+    pub rejected: Counter,
+    /// `Deliver` messages sent to clients.
+    pub deliveries: Counter,
+}
+
+/// Static configuration of one daemon.
+#[derive(Debug)]
+pub struct DaemonConfig {
+    /// This broker's id in the overlay.
+    pub broker: BrokerId,
+    /// Listen address (use port 0 for an ephemeral port).
+    pub listen: SocketAddr,
+    /// Neighbor links this daemon is responsible for dialing. The
+    /// overlay needs each edge dialed from exactly one side; the other
+    /// side only accepts.
+    pub dial: Vec<(BrokerId, SocketAddr)>,
+    /// The event schema shared by the whole overlay.
+    pub schema: Schema,
+    /// Bound of every per-connection outbound mailbox, in frames.
+    pub mailbox_capacity: usize,
+    /// What to do when a mailbox is full.
+    pub policy: BackpressurePolicy,
+    /// Durable state from a previous run ([`DaemonFinal::checkpoint`]);
+    /// the daemon rebuilds its summary from it, digest-identical to the
+    /// pre-shutdown one.
+    pub checkpoint: Option<BrokerCheckpoint>,
+}
+
+impl DaemonConfig {
+    /// A config with no neighbors, an ephemeral loopback port, and
+    /// defaults (mailbox of 256 frames, reject policy, fresh state).
+    pub fn new(broker: BrokerId, schema: Schema) -> DaemonConfig {
+        DaemonConfig {
+            broker,
+            listen: SocketAddr::from(([127, 0, 0, 1], 0)),
+            dial: Vec::new(),
+            schema,
+            mailbox_capacity: 256,
+            policy: BackpressurePolicy::default(),
+            checkpoint: None,
+        }
+    }
+}
+
+/// What a cleanly stopped daemon leaves behind.
+#[derive(Debug)]
+pub struct DaemonFinal {
+    /// Durable broker state: the exact subscription store and id
+    /// counter, byte-compatible with the simulator's checkpoints.
+    pub checkpoint: BrokerCheckpoint,
+}
+
+/// Events feeding the daemon's single-threaded event loop.
+enum Ev {
+    /// A connection was accepted; type unknown until its first message.
+    Accepted { conn: u64, stream: TcpStream },
+    /// A dialer established (or re-established) link `dial[ix]`.
+    Dialed {
+        ix: usize,
+        epoch: u64,
+        stream: TcpStream,
+    },
+    /// A message arrived on connection `conn`.
+    Msg { conn: u64, msg: Msg },
+    /// Connection `conn` closed or failed.
+    Closed { conn: u64 },
+}
+
+/// What the event loop knows about one live connection.
+enum Conn {
+    /// Accepted but not yet classified by a first message.
+    Unknown { mailbox: Mailbox },
+    /// A neighbor daemon's link.
+    Peer { broker: BrokerId, mailbox: Mailbox },
+    /// A subscriber/publisher client.
+    Client { mailbox: Mailbox },
+}
+
+impl Conn {
+    fn mailbox(&self) -> &Mailbox {
+        match self {
+            Conn::Unknown { mailbox } | Conn::Peer { mailbox, .. } | Conn::Client { mailbox } => {
+                mailbox
+            }
+        }
+    }
+}
+
+/// The daemon builder; see the [module docs](self).
+#[derive(Debug)]
+pub struct Subsumd;
+
+impl Subsumd {
+    /// Starts a daemon, returning once its listener is bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if the listen address cannot be bound,
+    /// or `InvalidData` if the schema exceeds the summary id layout.
+    pub fn start(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
+        let listener = TcpListener::bind(config.listen)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(DaemonStats::default());
+        let stopping = Arc::new(Mutex::new(false));
+        let (ev_tx, ev_rx) = std::sync::mpsc::channel::<Ev>();
+
+        let core = DaemonCore::new(&config, Arc::clone(&stats))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+
+        let accept = spawn_acceptor(listener, ev_tx.clone(), Arc::clone(&stopping));
+        for ix in 0..config.dial.len() {
+            spawn_dialer(
+                config.dial[ix].1,
+                ix,
+                1,
+                ev_tx.clone(),
+                Arc::clone(&stopping),
+            );
+        }
+
+        let loop_stop = Arc::clone(&stopping);
+        let loop_tx = ev_tx.clone();
+        let join = std::thread::spawn(move || event_loop(core, config, ev_rx, loop_tx, loop_stop));
+
+        Ok(DaemonHandle {
+            addr,
+            stats,
+            join,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running daemon: its bound address, live counters, and the join
+/// point that yields the final checkpoint after a clean shutdown
+/// (triggered by a client's `Shutdown` message).
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    stats: Arc<DaemonStats>,
+    join: JoinHandle<DaemonFinal>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The actually bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live per-daemon counters.
+    pub fn stats(&self) -> &DaemonStats {
+        &self.stats
+    }
+
+    /// Waits for the daemon to stop (a client must send `Shutdown`),
+    /// then unblocks and joins the acceptor and returns durable state.
+    pub fn join(mut self) -> DaemonFinal {
+        let fin = match self.join.join() {
+            Ok(fin) => fin,
+            Err(_) => DaemonFinal {
+                checkpoint: BrokerCheckpoint::default(),
+            },
+        };
+        // The event loop set `stopping` before exiting; one throwaway
+        // connection makes the blocked `accept` observe it and return.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        fin
+    }
+}
+
+/// Accept loop: hand every connection to the event loop until stopped.
+fn spawn_acceptor(
+    listener: TcpListener,
+    ev_tx: Sender<Ev>,
+    stopping: Arc<Mutex<bool>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Accepted connections count up from 1; dialed connections use
+        // a disjoint range (see `DIALED_CONN_BASE`).
+        let mut next_conn = 1u64;
+        loop {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            if stopping.lock().map(|s| *s).unwrap_or(true) {
+                return;
+            }
+            let conn = next_conn;
+            next_conn += 1;
+            if ev_tx.send(Ev::Accepted { conn, stream }).is_err() {
+                return;
+            }
+        }
+    })
+}
+
+/// Dialer for one neighbor link: connect (with backoff), hand the
+/// socket to the event loop, and exit; the event loop spawns the next
+/// incarnation with a bumped epoch when the link breaks.
+fn spawn_dialer(
+    addr: SocketAddr,
+    ix: usize,
+    epoch: u64,
+    ev_tx: Sender<Ev>,
+    stopping: Arc<Mutex<bool>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if stopping.lock().map(|s| *s).unwrap_or(true) {
+            return;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = ev_tx.send(Ev::Dialed { ix, epoch, stream });
+                return;
+            }
+            Err(_) => std::thread::sleep(REDIAL_BACKOFF),
+        }
+    })
+}
+
+/// Reader loop for one socket: frames → [`Msg`]s → event channel.
+fn spawn_reader(
+    conn: u64,
+    mut stream: TcpStream,
+    ev_tx: Sender<Ev>,
+    stats: Arc<DaemonStats>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            CNT_BYTES_RX.add(n as u64);
+            // BOUND: `read` returns at most `buf.len()`.
+            decoder.feed(&buf[..n]);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(frame)) => {
+                        CNT_FRAMES_RX.inc();
+                        stats.frames_rx.inc();
+                        match Msg::decode_frame(&frame) {
+                            Ok(msg) => {
+                                if ev_tx.send(Ev::Msg { conn, msg }).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(_) => {
+                                CNT_DECODE_ERRORS.inc();
+                                let _ = ev_tx.send(Ev::Closed { conn });
+                                return;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        CNT_DECODE_ERRORS.inc();
+                        let _ = ev_tx.send(Ev::Closed { conn });
+                        return;
+                    }
+                }
+            }
+        }
+        let _ = ev_tx.send(Ev::Closed { conn });
+    })
+}
+
+/// Dialed connections get ids in their own range so the acceptor's
+/// counter and the event loop's counter never collide.
+const DIALED_CONN_BASE: u64 = 1 << 32;
+
+/// The broker state owned by the event loop.
+struct DaemonCore {
+    broker: BrokerId,
+    codec: SummaryCodec,
+    schema: Schema,
+    /// Exact local subscription store (the durable state).
+    exact: Vec<(SubscriptionId, Subscription)>,
+    next_local: u32,
+    /// Summary of `exact`.
+    own: BrokerSummary,
+    /// Last received summary of each neighbor.
+    views: BTreeMap<BrokerId, BrokerSummary>,
+    /// Which client connection owns each local subscription.
+    sub_owner: BTreeMap<SubscriptionId, u64>,
+    stats: Arc<DaemonStats>,
+}
+
+impl DaemonCore {
+    fn new(config: &DaemonConfig, stats: Arc<DaemonStats>) -> Result<DaemonCore, TypeError> {
+        let layout = IdLayout::new(1 << 16, 1 << 20, config.schema.len() as u32)?;
+        let codec = SummaryCodec::new(layout, ArithWidth::Eight);
+        let (exact, next_local) = match &config.checkpoint {
+            Some(cp) => (cp.subs.clone(), cp.next_local),
+            None => (Vec::new(), 0),
+        };
+        let own = BrokerSummary::rebuild(
+            config.schema.clone(),
+            exact.iter().map(|(id, sub)| (*id, sub)),
+        );
+        Ok(DaemonCore {
+            broker: config.broker,
+            codec,
+            schema: config.schema.clone(),
+            exact,
+            next_local,
+            own,
+            views: BTreeMap::new(),
+            sub_owner: BTreeMap::new(),
+            stats,
+        })
+    }
+
+    fn checkpoint(&self) -> BrokerCheckpoint {
+        BrokerCheckpoint {
+            next_local: self.next_local,
+            subs: self.exact.clone(),
+        }
+    }
+
+    /// Serializes this daemon's own summary for a `Summary` message.
+    fn own_summary_msg(&self) -> Msg {
+        let bytes = self
+            .codec
+            .encode(&self.own)
+            .map(|b| b.to_vec())
+            .unwrap_or_default();
+        Msg::Summary {
+            from: self.broker,
+            bytes,
+        }
+    }
+
+    /// Digest-gates a peer's advertised summary digest: `Pull` only if
+    /// our stored view disagrees (or we have none).
+    fn pull_if_stale(
+        &self,
+        conns: &BTreeMap<u64, Conn>,
+        conn: u64,
+        peer: BrokerId,
+        advertised: subsum_core::SummaryDigest,
+    ) {
+        let matches = self.views.get(&peer).map(BrokerSummary::digest) == Some(advertised);
+        if matches {
+            return;
+        }
+        CNT_RESYNCS.inc();
+        self.stats.resyncs.inc();
+        if let Some(c) = conns.get(&conn) {
+            send_msg(c.mailbox(), &Msg::Pull { from: self.broker });
+        }
+    }
+}
+
+/// Runs the daemon's event loop to completion (client `Shutdown`).
+fn event_loop(
+    mut core: DaemonCore,
+    config: DaemonConfig,
+    ev_rx: Receiver<Ev>,
+    ev_tx: Sender<Ev>,
+    stopping: Arc<Mutex<bool>>,
+) -> DaemonFinal {
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    // Epoch of the next dial, and the live connection, per dial index.
+    let mut dial_epochs: Vec<u64> = vec![1; config.dial.len()];
+    let mut dial_conns: Vec<Option<u64>> = vec![None; config.dial.len()];
+    let mut next_dialed_conn = DIALED_CONN_BASE;
+    let stats = Arc::clone(&core.stats);
+
+    while let Ok(ev) = ev_rx.recv() {
+        match ev {
+            Ev::Accepted { conn, stream } => {
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let (mailbox, rx) = Mailbox::new(config.mailbox_capacity, config.policy);
+                spawn_writer(write_half, rx, Arc::clone(&stats.tx));
+                spawn_reader(conn, stream, ev_tx.clone(), Arc::clone(&stats));
+                conns.insert(conn, Conn::Unknown { mailbox });
+            }
+            Ev::Dialed { ix, epoch, stream } => {
+                let Some(&(peer, _)) = config.dial.get(ix) else {
+                    continue;
+                };
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let conn = next_dialed_conn;
+                next_dialed_conn += 1;
+                let (mailbox, rx) = Mailbox::new(config.mailbox_capacity, config.policy);
+                spawn_writer(write_half, rx, Arc::clone(&stats.tx));
+                spawn_reader(conn, stream, ev_tx.clone(), Arc::clone(&stats));
+                if epoch > 1 {
+                    CNT_RECONNECTS.inc();
+                    stats.reconnects.inc();
+                }
+                // BOUND: `ix < config.dial.len()` (checked above) and
+                // both vectors were sized to `config.dial.len()`.
+                dial_epochs[ix] = epoch + 1;
+                dial_conns[ix] = Some(conn);
+                send_msg(
+                    &mailbox,
+                    &Msg::Hello {
+                        broker: core.broker,
+                        epoch,
+                        digest: core.own.digest(),
+                    },
+                );
+                conns.insert(
+                    conn,
+                    Conn::Peer {
+                        broker: peer,
+                        mailbox,
+                    },
+                );
+            }
+            Ev::Closed { conn } => {
+                conns.remove(&conn);
+                // A broken dialed link is ours to re-establish.
+                if let Some(ix) = dial_conns.iter().position(|c| *c == Some(conn)) {
+                    dial_conns[ix] = None;
+                    if !stopping.lock().map(|s| *s).unwrap_or(true) {
+                        spawn_dialer(
+                            config.dial[ix].1,
+                            ix,
+                            dial_epochs[ix],
+                            ev_tx.clone(),
+                            Arc::clone(&stopping),
+                        );
+                    }
+                }
+            }
+            Ev::Msg { conn, msg } => {
+                if matches!(msg, Msg::Shutdown) {
+                    if let Ok(mut s) = stopping.lock() {
+                        *s = true;
+                    }
+                    break;
+                }
+                handle_msg(&mut core, &mut conns, conn, msg);
+            }
+        }
+    }
+
+    DaemonFinal {
+        checkpoint: core.checkpoint(),
+    }
+}
+
+/// Re-tags an [`Conn::Unknown`] connection once its first message
+/// reveals what it is; established connections keep their tag.
+fn classify(conns: &mut BTreeMap<u64, Conn>, conn: u64, make: impl FnOnce(Mailbox) -> Conn) {
+    if let Some(c) = conns.get_mut(&conn) {
+        if matches!(c, Conn::Unknown { .. }) {
+            *c = make(c.mailbox().clone());
+        }
+    }
+}
+
+/// The newest live link to a neighbor daemon, if any.
+fn peer_conn(conns: &BTreeMap<u64, Conn>, peer: BrokerId) -> Option<&Mailbox> {
+    conns.values().rev().find_map(|c| match c {
+        Conn::Peer { broker, mailbox } if *broker == peer => Some(mailbox),
+        _ => None,
+    })
+}
+
+/// Applies one protocol message to the broker state.
+fn handle_msg(core: &mut DaemonCore, conns: &mut BTreeMap<u64, Conn>, conn: u64, msg: Msg) {
+    match msg {
+        Msg::Hello {
+            broker,
+            epoch,
+            digest,
+        } => {
+            classify(conns, conn, |mailbox| Conn::Peer { broker, mailbox });
+            if let Some(c) = conns.get(&conn) {
+                send_msg(
+                    c.mailbox(),
+                    &Msg::HelloAck {
+                        broker: core.broker,
+                        epoch,
+                        digest: core.own.digest(),
+                    },
+                );
+            }
+            core.pull_if_stale(conns, conn, broker, digest);
+        }
+        Msg::HelloAck {
+            broker,
+            epoch: _,
+            digest,
+        } => {
+            core.pull_if_stale(conns, conn, broker, digest);
+        }
+        Msg::Summary { from, bytes } => {
+            if let Ok(summary) = core.codec.decode(&bytes, &core.schema) {
+                core.views.insert(from, summary);
+                core.stats.summaries_rx.inc();
+            }
+        }
+        Msg::Digest { from, digest } => {
+            core.pull_if_stale(conns, conn, from, digest);
+        }
+        Msg::Pull { from: _ } => {
+            if let Some(c) = conns.get(&conn) {
+                if send_msg(c.mailbox(), &core.own_summary_msg()) == SendOutcome::Sent {
+                    core.stats.summaries_tx.inc();
+                }
+            }
+        }
+        Msg::Route { origin: _, event } => {
+            deliver_local(core, conns, &event);
+        }
+        Msg::Subscribe { sub } => {
+            classify(conns, conn, |mailbox| Conn::Client { mailbox });
+            let id = SubscriptionId::new(core.broker, LocalSubId(core.next_local), sub.attr_mask());
+            core.next_local += 1;
+            core.exact.push((id, sub.clone()));
+            core.own.insert_with_id(id, &sub);
+            core.sub_owner.insert(id, conn);
+            if let Some(c) = conns.get(&conn) {
+                send_msg(c.mailbox(), &Msg::SubscribeAck { id });
+            }
+            // Eager propagation: every connected neighbor gets the
+            // updated summary immediately.
+            let push = core.own_summary_msg();
+            for c in conns.values() {
+                if let Conn::Peer { mailbox, .. } = c {
+                    if send_msg(mailbox, &push) == SendOutcome::Sent {
+                        core.stats.summaries_tx.inc();
+                    }
+                }
+            }
+        }
+        Msg::Publish { seq, event } => {
+            classify(conns, conn, |mailbox| Conn::Client { mailbox });
+            let matched = deliver_local(core, conns, &event);
+            let mut accepted = true;
+            for (&peer, view) in &core.views {
+                if view.match_event(&event).is_empty() {
+                    continue;
+                }
+                let forward = Msg::Route {
+                    origin: core.broker,
+                    event: event.clone(),
+                };
+                let sent = peer_conn(conns, peer)
+                    .map(|mailbox| send_msg(mailbox, &forward) == SendOutcome::Sent)
+                    .unwrap_or(false);
+                if !sent {
+                    accepted = false;
+                }
+            }
+            if accepted {
+                CNT_ACKED.inc();
+                core.stats.acked.inc();
+            } else {
+                CNT_REJECTED.inc();
+                core.stats.rejected.inc();
+            }
+            if let Some(c) = conns.get(&conn) {
+                send_msg(
+                    c.mailbox(),
+                    &Msg::PublishAck {
+                        seq,
+                        accepted,
+                        matched,
+                    },
+                );
+            }
+        }
+        // Client-bound messages arriving at a daemon are protocol
+        // noise; drop them.
+        Msg::SubscribeAck { .. } | Msg::PublishAck { .. } | Msg::Deliver { .. } => {}
+        // Handled by the event loop before dispatch.
+        Msg::Shutdown => {}
+    }
+}
+
+/// Matches `event` against the local summary and delivers to owning
+/// clients; returns the local match count.
+fn deliver_local(core: &mut DaemonCore, conns: &BTreeMap<u64, Conn>, event: &Event) -> u32 {
+    let ids = core.own.match_event(event);
+    let matched = ids.len() as u32;
+    for id in ids {
+        let Some(&owner) = core.sub_owner.get(&id) else {
+            continue; // subscriber from a restored checkpoint, not connected
+        };
+        let Some(c) = conns.get(&owner) else {
+            continue;
+        };
+        if send_msg(
+            c.mailbox(),
+            &Msg::Deliver {
+                id,
+                event: event.clone(),
+            },
+        ) == SendOutcome::Sent
+        {
+            core.stats.deliveries.inc();
+        }
+    }
+    matched
+}
+
+fn send_msg(mailbox: &Mailbox, msg: &Msg) -> SendOutcome {
+    match msg.to_frame_bytes() {
+        Ok(bytes) => mailbox.send(bytes),
+        Err(_) => SendOutcome::Rejected,
+    }
+}

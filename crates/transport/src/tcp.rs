@@ -1,0 +1,443 @@
+//! [`TcpTransport`]: the broker [`Transport`] seam over real sockets.
+//!
+//! The deterministic simulator (`LossyNet`) and this fabric implement
+//! the same trait, so protocol drivers — [`ChaosRun::run_with`]
+//! (`subsum_broker::ChaosRun`) included — run unmodified over TCP
+//! loopback. The mapping:
+//!
+//! * **Links** — every ordered broker pair gets one TCP connection,
+//!   established up front; frames preserve per-link ordering exactly as
+//!   the trait contract requires, and the OS supplies loss (connection
+//!   breaks) instead of a seeded fault plan.
+//! * **Time** — the transport clock ticks once per delivered envelope.
+//!   Transit delays are ignored (the wire is as fast as it is); they
+//!   only order *scheduled control events* relative to each other.
+//! * **Control events** — [`Transport::schedule`] never touches a
+//!   socket: control envelopes sit in a local priority queue and fire
+//!   when the sockets go quiet, mirroring the simulator's rule that
+//!   timers outlive partitions and crashes.
+//! * **Quiescence** — `recv` returns `None` after the sockets have been
+//!   silent for the configured quiet window with no control events
+//!   pending. A real daemon never wants quiescence (it serves forever);
+//!   this fabric exists to run *bounded scenarios* over sockets, where
+//!   "the run ended" must be observable.
+//!
+//! Messages cross sockets through a [`MsgCodec`], which also decides
+//! which messages are wire-worthy at all: simulation-only control
+//! variants (e.g. `ChaosMsg::Crash`) encode to `None` and simply never
+//! leave the process.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use subsum_broker::Transport;
+use subsum_net::{Envelope, FaultStats, NodeId};
+use subsum_telemetry::trace::TraceCtx;
+use subsum_telemetry::{names, Count};
+
+use crate::frame::FrameDecoder;
+use crate::msg::MsgError;
+use crate::session::{spawn_writer, BackpressurePolicy, Mailbox, TxStats};
+
+static CNT_FRAMES_RX: Count = Count::new(names::TRANSPORT_FRAMES_RX);
+static CNT_BYTES_RX: Count = Count::new(names::TRANSPORT_BYTES_RX);
+static CNT_DECODE_ERRORS: Count = Count::new(names::TRANSPORT_DECODE_ERRORS);
+
+/// Identifies the dialing node on a fresh fabric link; the only frame
+/// kind the fabric itself owns (message kinds start at 1).
+const KIND_LINK_ID: u8 = 0;
+
+/// Encodes protocol messages onto frames and back.
+///
+/// `encode` returns `None` for messages that must never cross a socket
+/// (simulation-only control events); [`TcpTransport::send`] silently
+/// drops them, exactly as a simulator tick that nobody observes.
+pub trait MsgCodec<M>: Send + Sync {
+    /// Serializes `msg` as a frame kind and payload, or `None` if the
+    /// message is not wire-worthy.
+    fn encode(&self, msg: &M) -> Option<(u8, Vec<u8>)>;
+
+    /// Parses a message from a frame kind and payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError`] on an unknown kind or malformed payload.
+    fn decode(&self, kind: u8, payload: &[u8]) -> Result<M, MsgError>;
+}
+
+/// A scheduled control event, ordered by (time, insertion sequence) so
+/// equal-time events fire in schedule order.
+struct Scheduled<M> {
+    at: u64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// An all-pairs TCP loopback fabric implementing [`Transport`].
+///
+/// See the [module docs](self) for the simulator ↔ socket mapping.
+pub struct TcpTransport<M> {
+    codec: Arc<dyn MsgCodec<M>>,
+    /// Outbound mailbox per directed link.
+    links: BTreeMap<(NodeId, NodeId), Mailbox>,
+    inbox: Receiver<Envelope<M>>,
+    sched: BinaryHeap<Scheduled<M>>,
+    now: u64,
+    seq: u64,
+    quiet: Duration,
+    stats: FaultStats,
+    tx_stats: Arc<TxStats>,
+    /// Writer and reader threads; joined on drop by closing mailboxes.
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<M> std::fmt::Debug for TcpTransport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("nodes_links", &self.links.len())
+            .field("now", &self.now)
+            .field("pending_control", &self.sched.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Send + 'static> TcpTransport<M> {
+    /// Builds a fully connected loopback fabric over `nodes` brokers.
+    ///
+    /// Binds one ephemeral listener per node, dials every ordered pair,
+    /// and spawns one reader and one writer thread per connection.
+    /// `quiet` is the socket-silence window after which pending control
+    /// events fire (and, with none pending, `recv` reports quiescence).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding, dialing or accepting.
+    pub fn connect(
+        nodes: u16,
+        codec: Arc<dyn MsgCodec<M>>,
+        quiet: Duration,
+    ) -> std::io::Result<TcpTransport<M>> {
+        let (inbox_tx, inbox) = std::sync::mpsc::channel();
+        let mut listeners = Vec::with_capacity(usize::from(nodes));
+        for _ in 0..nodes {
+            listeners.push(TcpListener::bind("127.0.0.1:0")?);
+        }
+        let addrs: Vec<_> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<std::io::Result<_>>()?;
+
+        let tx_stats = Arc::new(TxStats::default());
+        let mut links = BTreeMap::new();
+        let mut threads = Vec::new();
+        for from in 0..nodes {
+            for to in 0..nodes {
+                if from == to {
+                    continue;
+                }
+                // Dial `from → to`, announce the dialer, then hand the
+                // accepted side to a reader thread at `to`.
+                let out = TcpStream::connect(addrs[usize::from(to)])?;
+                let (accepted, _) = listeners[usize::from(to)].accept()?;
+                let preamble = crate::frame::encode_frame(KIND_LINK_ID, &from.to_be_bytes())
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                let (mailbox, rx) = Mailbox::new(1024, BackpressurePolicy::Block);
+                // The preamble is first in the mailbox, so it is first
+                // on the wire.
+                mailbox.send(preamble);
+                threads.push(spawn_writer(out, rx, Arc::clone(&tx_stats)));
+                links.insert((from, to), mailbox);
+
+                let codec = Arc::clone(&codec);
+                let inbox_tx = inbox_tx.clone();
+                threads.push(std::thread::spawn(move || {
+                    read_link(accepted, to, codec.as_ref(), &inbox_tx);
+                }));
+            }
+        }
+        Ok(TcpTransport {
+            codec,
+            links,
+            inbox,
+            sched: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            quiet,
+            stats: FaultStats::default(),
+            tx_stats,
+            threads,
+        })
+    }
+
+    /// Per-fabric transmit counters (frames/bytes written).
+    pub fn tx_stats(&self) -> &TxStats {
+        &self.tx_stats
+    }
+
+    /// Closes every link and joins the socket threads.
+    pub fn shutdown(&mut self) {
+        self.links.clear(); // drops mailboxes; writers exit, sockets close
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reader loop for one accepted link: preamble, then framed messages
+/// decoded into envelopes until the socket closes or corrupts.
+fn read_link<M>(
+    mut stream: TcpStream,
+    to: NodeId,
+    codec: &dyn MsgCodec<M>,
+    inbox: &Sender<Envelope<M>>,
+) {
+    let mut decoder = FrameDecoder::new();
+    let mut from: Option<NodeId> = None;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        CNT_BYTES_RX.add(n as u64);
+        // BOUND: `read` returns at most `buf.len()`.
+        decoder.feed(&buf[..n]);
+        loop {
+            let frame = match decoder.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => {
+                    CNT_DECODE_ERRORS.inc();
+                    return;
+                }
+            };
+            CNT_FRAMES_RX.inc();
+            match frame.kind {
+                KIND_LINK_ID => {
+                    let bytes: Option<[u8; 2]> = frame.payload.as_slice().try_into().ok();
+                    match bytes {
+                        Some(b) => from = Some(NodeId::from_be_bytes(b)),
+                        None => {
+                            CNT_DECODE_ERRORS.inc();
+                            return;
+                        }
+                    }
+                }
+                kind => {
+                    let Some(from) = from else {
+                        // Message before the preamble: protocol violation.
+                        CNT_DECODE_ERRORS.inc();
+                        return;
+                    };
+                    match codec.decode(kind, &frame.payload) {
+                        Ok(payload) => {
+                            let env = Envelope {
+                                from,
+                                to,
+                                control: false,
+                                trace: TraceCtx::NONE,
+                                payload,
+                            };
+                            if inbox.send(env).is_err() {
+                                return; // transport dropped
+                            }
+                        }
+                        Err(_) => {
+                            CNT_DECODE_ERRORS.inc();
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<M: Send + 'static> Transport<M> for TcpTransport<M> {
+    fn send(&mut self, from: NodeId, to: NodeId, _delay: u64, _ctx: TraceCtx, msg: M) {
+        self.stats.offered += 1;
+        let Some((kind, payload)) = self.codec.encode(&msg) else {
+            return; // not wire-worthy (simulation-only control variant)
+        };
+        let Ok(bytes) = crate::frame::encode_frame(kind, &payload) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        match self.links.get(&(from, to)) {
+            Some(mailbox) => {
+                if mailbox.send(bytes) != crate::session::SendOutcome::Sent {
+                    self.stats.dropped += 1;
+                }
+            }
+            None => self.stats.link_dropped += 1,
+        }
+    }
+
+    fn schedule(&mut self, broker: NodeId, delay: u64, ctx: TraceCtx, msg: M) {
+        self.seq += 1;
+        self.sched.push(Scheduled {
+            at: self.now.saturating_add(delay),
+            seq: self.seq,
+            env: Envelope {
+                from: broker,
+                to: broker,
+                control: true,
+                trace: ctx,
+                payload: msg,
+            },
+        });
+    }
+
+    fn recv(&mut self) -> Option<(u64, Envelope<M>)> {
+        match self.inbox.recv_timeout(self.quiet) {
+            Ok(env) => {
+                self.now += 1;
+                self.stats.delivered += 1;
+                Some((self.now, env))
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                // Sockets quiet: fire the earliest control event, or
+                // report quiescence with none pending.
+                let next = self.sched.pop()?;
+                self.now = self.now.max(next.at) + 1;
+                Some((self.now, next.env))
+            }
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        self.links.clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Msg;
+    use subsum_types::BrokerId;
+
+    /// The client/peer [`Msg`] protocol as a fabric codec; `Shutdown`
+    /// stays local, everything else crosses the wire.
+    #[derive(Debug)]
+    struct MsgFabricCodec;
+
+    impl MsgCodec<Msg> for MsgFabricCodec {
+        fn encode(&self, msg: &Msg) -> Option<(u8, Vec<u8>)> {
+            match msg {
+                Msg::Shutdown => None,
+                m => Some((m.kind(), m.encode_payload())),
+            }
+        }
+        fn decode(&self, kind: u8, payload: &[u8]) -> Result<Msg, MsgError> {
+            Msg::decode(kind, payload)
+        }
+    }
+
+    #[test]
+    fn frames_cross_real_sockets_in_link_order() {
+        let mut net: TcpTransport<Msg> =
+            TcpTransport::connect(3, Arc::new(MsgFabricCodec), Duration::from_millis(150)).unwrap();
+        for seq in 0..10 {
+            net.send(
+                0,
+                1,
+                0,
+                TraceCtx::NONE,
+                Msg::Pull {
+                    from: BrokerId(seq),
+                },
+            );
+        }
+        net.send(
+            2,
+            1,
+            0,
+            TraceCtx::NONE,
+            Msg::Pull {
+                from: BrokerId(100),
+            },
+        );
+        net.send(
+            1,
+            2,
+            0,
+            TraceCtx::NONE,
+            Msg::Pull {
+                from: BrokerId(200),
+            },
+        );
+
+        let mut per_link: BTreeMap<(NodeId, NodeId), Vec<u16>> = BTreeMap::new();
+        while let Some((_, env)) = net.recv() {
+            let Msg::Pull { from: tag } = env.payload else {
+                panic!("unexpected message");
+            };
+            per_link.entry((env.from, env.to)).or_default().push(tag.0);
+        }
+        assert_eq!(per_link[&(0, 1)], (0..10).collect::<Vec<_>>());
+        assert_eq!(per_link[&(2, 1)], vec![100]);
+        assert_eq!(per_link[&(1, 2)], vec![200]);
+        assert_eq!(net.fault_stats().delivered, 12);
+        net.shutdown();
+    }
+
+    #[test]
+    fn control_events_fire_in_time_order_after_quiet() {
+        let mut net: TcpTransport<Msg> =
+            TcpTransport::connect(2, Arc::new(MsgFabricCodec), Duration::from_millis(30)).unwrap();
+        net.schedule(0, 50, TraceCtx::NONE, Msg::Shutdown);
+        net.schedule(1, 10, TraceCtx::NONE, Msg::Pull { from: BrokerId(1) });
+        let (t1, e1) = net.recv().unwrap();
+        let (t2, e2) = net.recv().unwrap();
+        assert!(e1.control && e2.control);
+        assert_eq!((e1.to, e2.to), (1, 0));
+        assert!(t1 < t2);
+        assert!(net.recv().is_none());
+    }
+
+    #[test]
+    fn non_wire_messages_never_cross() {
+        let mut net: TcpTransport<Msg> =
+            TcpTransport::connect(2, Arc::new(MsgFabricCodec), Duration::from_millis(30)).unwrap();
+        net.send(0, 1, 0, TraceCtx::NONE, Msg::Shutdown);
+        assert!(net.recv().is_none());
+        assert_eq!(net.fault_stats().offered, 1);
+        assert_eq!(net.fault_stats().delivered, 0);
+    }
+}

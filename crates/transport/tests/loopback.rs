@@ -1,0 +1,266 @@
+//! Two-daemon loopback integration: the full client → daemon → peer
+//! daemon → client path over real TCP sockets, plus the reconnect
+//! guarantee (a restarted peer reconverges via digest comparison and a
+//! single pull, not a full re-send), plus the same flow driven through
+//! the actual `subsumd` binary with telemetry dumps.
+
+use std::time::{Duration, Instant};
+
+use subsum_transport::{Client, DaemonConfig, DaemonHandle, Subsumd};
+use subsum_types::{stock_schema, BrokerId, Event, NumOp, Subscription};
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn cheap_sub() -> Subscription {
+    Subscription::builder(&stock_schema())
+        .num("price", NumOp::Lt, 10.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn cheap_event(price: f64) -> Event {
+    Event::builder(&stock_schema())
+        .num("price", price)
+        .unwrap()
+        .build()
+}
+
+/// Starts broker 0 (listen only) and broker 1 (dials broker 0), and
+/// waits for the initial handshake to converge both directions.
+fn start_pair() -> (DaemonHandle, DaemonHandle) {
+    let a = Subsumd::start(DaemonConfig::new(BrokerId(0), stock_schema())).unwrap();
+    let mut config_b = DaemonConfig::new(BrokerId(1), stock_schema());
+    config_b.dial = vec![(BrokerId(0), a.addr())];
+    let b = Subsumd::start(config_b).unwrap();
+    // Fresh daemons have no views, so the first handshake pulls an
+    // (empty) summary in both directions.
+    wait_for("initial handshake", || {
+        a.stats().summaries_rx.get() >= 1 && b.stats().summaries_rx.get() >= 1
+    });
+    (a, b)
+}
+
+#[test]
+fn subscribe_propagate_publish_deliver_ack() {
+    let (a, b) = start_pair();
+
+    // Subscribe on A; the updated summary is eagerly pushed to B.
+    let mut client_a = Client::connect(a.addr()).unwrap();
+    let summaries_at_b = b.stats().summaries_rx.get();
+    let sub_id = client_a.subscribe(&cheap_sub()).unwrap();
+    assert_eq!(sub_id.broker, BrokerId(0));
+    wait_for("summary propagation to B", || {
+        b.stats().summaries_rx.get() > summaries_at_b
+    });
+
+    // Publish on B an event that matches A's subscription.
+    let mut client_b = Client::connect(b.addr()).unwrap();
+    let ack = client_b.publish(&cheap_event(5.0)).unwrap();
+    assert!(ack.accepted, "publish must be accepted");
+    assert_eq!(ack.matched, 0, "no local subscribers at B");
+
+    // The event crosses B → A and reaches A's client.
+    let (id, event) = client_a
+        .poll_delivery(Duration::from_secs(10))
+        .unwrap()
+        .expect("delivery must arrive at A's client");
+    assert_eq!(id, sub_id);
+    assert_eq!(event, cheap_event(5.0));
+    assert_eq!(a.stats().deliveries.get(), 1);
+
+    // A non-matching publish is acked but never delivered.
+    let ack = client_b.publish(&cheap_event(50.0)).unwrap();
+    assert!(ack.accepted);
+    assert!(client_a
+        .poll_delivery(Duration::from_millis(200))
+        .unwrap()
+        .is_none());
+
+    // Local delivery on the publishing daemon works too.
+    let sub_b = client_b.subscribe(&cheap_sub()).unwrap();
+    assert_eq!(sub_b.broker, BrokerId(1));
+    let ack = client_b.publish(&cheap_event(3.0)).unwrap();
+    assert_eq!(ack.matched, 1, "B now has a local subscriber");
+    let (id, _) = client_b.next_delivery().unwrap();
+    assert_eq!(id, sub_b);
+
+    client_a.shutdown().unwrap();
+    client_b.shutdown().unwrap();
+    a.join();
+    b.join();
+}
+
+#[test]
+fn restarted_peer_reconverges_via_digest_pull_not_resend() {
+    let (a, b) = start_pair();
+
+    // Give both daemons nonempty summaries.
+    let mut client_a = Client::connect(a.addr()).unwrap();
+    let sub_id = client_a.subscribe(&cheap_sub()).unwrap();
+    let mut client_b = Client::connect(b.addr()).unwrap();
+    client_b.subscribe(&cheap_sub()).unwrap();
+    wait_for("cross-propagation of both summaries", || {
+        a.stats().summaries_rx.get() >= 2 && b.stats().summaries_rx.get() >= 2
+    });
+
+    // Cleanly stop B, capturing its durable checkpoint.
+    let resyncs_at_a = a.stats().resyncs.get();
+    client_b.shutdown().unwrap();
+    let fin = b.join();
+    assert_eq!(fin.checkpoint.subs.len(), 1);
+
+    // Restart B from the checkpoint: same broker id, same durable
+    // state, fresh port, fresh epoch.
+    let mut config_b = DaemonConfig::new(BrokerId(1), stock_schema());
+    config_b.dial = vec![(BrokerId(0), a.addr())];
+    config_b.checkpoint = Some(fin.checkpoint);
+    let b2 = Subsumd::start(config_b).unwrap();
+
+    // B' lost its view of A, so it pulls A's summary — exactly once.
+    wait_for("restarted peer pulling A's summary", || {
+        b2.stats().summaries_rx.get() >= 1
+    });
+    assert_eq!(
+        b2.stats().resyncs.get(),
+        1,
+        "B' pulls because its views are gone"
+    );
+
+    // The checkpoint rebuilt B's summary digest-identically, so A saw a
+    // matching digest in B's Hello: no pull, no full summary from B'.
+    assert_eq!(
+        a.stats().resyncs.get(),
+        resyncs_at_a,
+        "A's stored view matches the restarted peer's digest"
+    );
+    assert_eq!(
+        b2.stats().summaries_tx.get(),
+        0,
+        "the restarted peer re-joined without re-sending its summary"
+    );
+
+    // Reconvergence is functional: publish on B' still reaches A.
+    let mut client_b2 = Client::connect(b2.addr()).unwrap();
+    let ack = client_b2.publish(&cheap_event(1.0)).unwrap();
+    assert!(ack.accepted);
+    let (id, _) = client_a
+        .poll_delivery(Duration::from_secs(10))
+        .unwrap()
+        .expect("delivery after restart");
+    assert_eq!(id, sub_id);
+
+    client_a.shutdown().unwrap();
+    client_b2.shutdown().unwrap();
+    a.join();
+    b2.join();
+}
+
+/// The same loopback flow through the real `subsumd` binary: two
+/// processes, ephemeral ports, clean shutdown, telemetry dumps on disk.
+/// CI's `transport-smoke` job greps the dumps for nonzero
+/// `transport.frames_rx` and `publish.acked`.
+#[test]
+fn subsumd_binary_two_process_loopback() {
+    use std::io::BufRead;
+    use std::process::{Child, Command, Stdio};
+
+    let tmp = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(tmp).unwrap();
+    let dump_a = tmp.join("subsumd-b0.json");
+    let dump_b = tmp.join("subsumd-b1.json");
+    let _ = std::fs::remove_file(&dump_a);
+    let _ = std::fs::remove_file(&dump_b);
+
+    fn spawn_daemon(args: &[&str]) -> (Child, std::net::SocketAddr) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_subsumd"))
+            .args(args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        // First stdout line: "subsumd broker N listening on ADDR".
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .unwrap();
+        let addr = line
+            .rsplit(' ')
+            .next()
+            .and_then(|a| a.trim().parse().ok())
+            .unwrap_or_else(|| panic!("unparseable listen line {line:?}"));
+        (child, addr)
+    }
+
+    let (mut proc_a, addr_a) = spawn_daemon(&[
+        "--broker",
+        "0",
+        "--listen",
+        "127.0.0.1:0",
+        "--telemetry-json",
+        dump_a.to_str().unwrap(),
+    ]);
+    let dial = format!("0={addr_a}");
+    let (mut proc_b, addr_b) = spawn_daemon(&[
+        "--broker",
+        "1",
+        "--listen",
+        "127.0.0.1:0",
+        "--dial",
+        &dial,
+        "--telemetry-json",
+        dump_b.to_str().unwrap(),
+    ]);
+
+    let mut client_a = Client::connect(addr_a).unwrap();
+    let sub_id = client_a.subscribe(&cheap_sub()).unwrap();
+    // No cross-process stats to poll; the publish below retries until
+    // the summary has propagated and the delivery arrives.
+    let mut client_b = Client::connect(addr_b).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let delivered = loop {
+        let ack = client_b.publish(&cheap_event(5.0)).unwrap();
+        assert!(ack.accepted);
+        if let Some(d) = client_a.poll_delivery(Duration::from_millis(100)).unwrap() {
+            break d;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "delivery never crossed the processes"
+        );
+    };
+    assert_eq!(delivered.0, sub_id);
+
+    client_a.shutdown().unwrap();
+    client_b.shutdown().unwrap();
+    assert!(proc_a.wait().unwrap().success());
+    assert!(proc_b.wait().unwrap().success());
+
+    // The dumps exist and carry the counters CI greps for.
+    fn counter_value(report: &str, name: &str) -> u64 {
+        let key = format!("\"{name}\":");
+        let at = report
+            .find(&key)
+            .unwrap_or_else(|| panic!("counter {name} missing from dump: {report}"));
+        report[at + key.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("counter {name} not numeric in dump: {report}"))
+    }
+    let report_a = std::fs::read_to_string(&dump_a).unwrap();
+    let report_b = std::fs::read_to_string(&dump_b).unwrap();
+    assert!(counter_value(&report_a, "transport.frames_rx") > 0);
+    assert!(counter_value(&report_b, "transport.frames_rx") > 0);
+    assert!(counter_value(&report_b, "publish.acked") > 0);
+}

@@ -175,9 +175,18 @@ impl Pattern {
     }
 
     /// The rendered length in bytes, used by the paper's per-character
-    /// string storage accounting (`s_sv`).
+    /// string storage accounting (`s_sv`). Computed from the segment
+    /// structure without rendering, so size accounting never allocates;
+    /// equals `self.to_string().len()` by construction.
     pub fn wire_size(&self) -> usize {
-        self.to_string().len()
+        if self.segments.is_empty() {
+            return usize::from(self.is_universal());
+        }
+        let literals: usize = self.segments.iter().map(String::len).sum();
+        literals
+            + (self.segments.len() - 1)
+            + usize::from(!self.anchored_start)
+            + usize::from(!self.anchored_end)
     }
 
     /// Tests whether the pattern matches `s`, by greedy segment placement.
@@ -568,5 +577,22 @@ mod tests {
         assert!(p("α*ω").matches("αβγω"));
         assert!(!p("α*ω").matches("βγω"));
         assert!(p("α*").covers(&p("αβ*")));
+    }
+
+    #[test]
+    fn wire_size_equals_rendered_length() {
+        for text in [
+            "*", "", "abc", "*abc", "abc*", "*abc*", "a*b", "*a*b*", "α*ω", "a**b", "NYSE",
+        ] {
+            let pat = p(text);
+            assert_eq!(
+                pat.wire_size(),
+                pat.to_string().len(),
+                "pattern {text:?} renders {:?}",
+                pat.to_string()
+            );
+        }
+        assert_eq!(Pattern::universal().wire_size(), 1);
+        assert_eq!(Pattern::literal("").wire_size(), 0);
     }
 }

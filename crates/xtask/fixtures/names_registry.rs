@@ -12,6 +12,10 @@ pub const APP_SHARD_FANOUT: &str = "match.shard_fanout";
 pub const APP_SHARD_MERGE_NS: &str = "match.shard_merge_ns";
 pub const APP_SNAPSHOT_FLIPS: &str = "summary.snapshot_flips";
 pub const APP_DEFERRED_RECLAIMS: &str = "summary.deferred_reclaims";
+pub const APP_TRANSPORT_FRAMES_RX: &str = "transport.frames_rx";
+pub const APP_TRANSPORT_RECONNECTS: &str = "transport.reconnects";
+pub const APP_NET_MAILBOX_FULL: &str = "net.mailbox_full";
+pub const APP_PUBLISH_ACKED: &str = "publish.acked";
 
 #[cfg(test)]
 mod tests {

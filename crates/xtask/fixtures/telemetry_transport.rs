@@ -1,0 +1,13 @@
+//! Fixture call sites for the transport counter family: the registered
+//! `transport.*` / `net.*` / `publish.*` names pass, exactly one
+//! unregistered one is seeded.
+
+static FRAMES_RX: Count = Count::new("transport.frames_rx"); // registered literal: fine
+static MAILBOX_FULL: Count = Count::new(names::APP_NET_MAILBOX_FULL); // constant: fine
+static ACKED: Count = Count::new("publish.acked"); // registered literal: fine
+static ROGUE: Count = Count::new("transport.unregistered"); // violation
+
+pub fn record() {
+    let c = counter("transport.reconnects"); // registered literal: fine
+    let _ = (c, &FRAMES_RX, &MAILBOX_FULL, &ACKED, &ROGUE);
+}

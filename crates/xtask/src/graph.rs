@@ -107,8 +107,7 @@ pub fn collect_fns(lexed: &Lexed, file: usize) -> Vec<FnDef> {
                     }
                     TokenKind::Open(_) if toks[j].mat != usize::MAX => {
                         // Scan the group (parameters may carry `self`).
-                        has_self = has_self
-                            || (j..toks[j].mat).any(|t| lexed.is_ident(t, "self"));
+                        has_self = has_self || (j..toks[j].mat).any(|t| lexed.is_ident(t, "self"));
                         j = toks[j].mat + 1;
                         continue;
                     }
@@ -286,11 +285,7 @@ impl CallGraph {
     pub fn build(sources: &[&Lexed]) -> CallGraph {
         let mut fns = Vec::new();
         for (file, lexed) in sources.iter().enumerate() {
-            fns.extend(
-                collect_fns(lexed, file)
-                    .into_iter()
-                    .filter(|f| !f.in_test),
-            );
+            fns.extend(collect_fns(lexed, file).into_iter().filter(|f| !f.in_test));
         }
         let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
         for (idx, f) in fns.iter().enumerate() {
@@ -314,9 +309,7 @@ impl CallGraph {
                     let target = &fns[cand];
                     let linked = match &call.kind {
                         CallKind::Method => target.has_self,
-                        CallKind::Bare => {
-                            target.impl_type.is_none() || target.file == f.file
-                        }
+                        CallKind::Bare => target.impl_type.is_none() || target.file == f.file,
                         CallKind::Qualified(q) => {
                             let q = if q == "Self" {
                                 f.impl_type.as_deref().unwrap_or("Self")
@@ -369,15 +362,15 @@ impl CallGraph {
         let mut parent = std::collections::BTreeMap::new();
         let mut queue: std::collections::VecDeque<usize> = Default::default();
         for &s in seeds {
-            if !parent.contains_key(&s) {
-                parent.insert(s, usize::MAX);
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(s) {
+                e.insert(usize::MAX);
                 queue.push_back(s);
             }
         }
         while let Some(f) = queue.pop_front() {
             for &next in &self.edges[f] {
-                if !parent.contains_key(&next) {
-                    parent.insert(next, f);
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(f);
                     queue.push_back(next);
                 }
             }
@@ -477,7 +470,10 @@ fn unrelated() {}
         let graph = CallGraph::build(&[&lexed]);
         let seeds = graph.roots("root");
         let reached = graph.reach(&seeds);
-        let names: Vec<&str> = reached.keys().map(|&i| graph.fns[i].name.as_str()).collect();
+        let names: Vec<&str> = reached
+            .keys()
+            .map(|&i| graph.fns[i].name.as_str())
+            .collect();
         assert_eq!(names, ["root", "helper", "leaf"]);
         let leaf = graph.roots("leaf")[0];
         assert_eq!(graph.chain(&reached, leaf), "root -> helper -> leaf");
@@ -512,7 +508,12 @@ fn work() {}
         // not (a `.work()` call cannot be a free fn).
         let names: Vec<(&str, Option<&str>)> = reached
             .keys()
-            .map(|&i| (graph.fns[i].name.as_str(), graph.fns[i].impl_type.as_deref()))
+            .map(|&i| {
+                (
+                    graph.fns[i].name.as_str(),
+                    graph.fns[i].impl_type.as_deref(),
+                )
+            })
             .collect();
         assert_eq!(
             names,

@@ -101,12 +101,16 @@ impl Lexed {
 
     /// Whether token `i` falls inside a `#[cfg(test)]` item.
     pub fn in_test(&self, i: usize) -> bool {
-        self.test_regions.iter().any(|&(lo, hi)| (lo..hi).contains(&i))
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..hi).contains(&i))
     }
 
     /// Whether token `i` falls inside an attribute.
     pub fn in_attr(&self, i: usize) -> bool {
-        self.attr_regions.iter().any(|&(lo, hi)| (lo..hi).contains(&i))
+        self.attr_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..hi).contains(&i))
     }
 
     /// Whether the line holding token `i`, or one of the `above` lines
@@ -495,7 +499,10 @@ fn find_regions(lexed: &mut Lexed) {
                     if o < len && lexed.is_punct(o, b'!') {
                         o += 1;
                     }
-                    if o < len && matches!(toks[o].kind, TokenKind::Open(b'[')) && toks[o].mat != usize::MAX {
+                    if o < len
+                        && matches!(toks[o].kind, TokenKind::Open(b'['))
+                        && toks[o].mat != usize::MAX
+                    {
                         j = toks[o].mat + 1;
                         continue;
                     }
@@ -506,7 +513,11 @@ fn find_regions(lexed: &mut Lexed) {
             while j < len {
                 match toks[j].kind {
                     TokenKind::Open(b'{') => {
-                        end = if toks[j].mat == usize::MAX { len } else { toks[j].mat + 1 };
+                        end = if toks[j].mat == usize::MAX {
+                            len
+                        } else {
+                            toks[j].mat + 1
+                        };
                         break;
                     }
                     TokenKind::Open(_) if toks[j].mat != usize::MAX => {
@@ -640,9 +651,13 @@ fn after() {}
     #[test]
     fn fat_arrow_and_path_sep_helpers() {
         let lexed = lex(b"match x { A::B => 1, _ => 2 }");
-        let arrow = (0..lexed.tokens.len()).filter(|&i| lexed.is_fat_arrow(i)).count();
+        let arrow = (0..lexed.tokens.len())
+            .filter(|&i| lexed.is_fat_arrow(i))
+            .count();
         assert_eq!(arrow, 2);
-        let seps = (0..lexed.tokens.len()).filter(|&i| lexed.is_path_sep(i)).count();
+        let seps = (0..lexed.tokens.len())
+            .filter(|&i| lexed.is_path_sep(i))
+            .count();
         assert_eq!(seps, 1);
     }
 

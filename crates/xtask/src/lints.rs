@@ -125,6 +125,8 @@ impl CheckConfig {
                 PathBuf::from("crates/types/src/id.rs"),
                 PathBuf::from("crates/types/src/subcodec.rs"),
                 PathBuf::from("crates/broker/src/snapshot.rs"),
+                PathBuf::from("crates/transport/src/frame.rs"),
+                PathBuf::from("crates/transport/src/msg.rs"),
             ],
             panic_roots: vec![
                 "match_event_into".into(),
@@ -137,11 +139,17 @@ impl CheckConfig {
                 "decode".into(),
                 "decode_bytes".into(),
                 "from_bytes".into(),
+                "next_frame".into(),
+                "decode_all".into(),
+                "decode_frame".into(),
             ],
             wire_roots: vec![
                 "decode".into(),
                 "decode_bytes".into(),
                 "from_bytes".into(),
+                "next_frame".into(),
+                "decode_all".into(),
+                "decode_frame".into(),
             ],
             atomics_policy: Some(PathBuf::from("crates/xtask/atomics.policy")),
             unsafe_allow: vec![
@@ -229,7 +237,8 @@ pub fn run_check(cfg: &CheckConfig) -> Result<Vec<Violation>, String> {
     }
 
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    violations.dedup_by(|a, b| (&a.file, a.line, a.rule, &a.msg) == (&b.file, b.line, b.rule, &b.msg));
+    violations
+        .dedup_by(|a, b| (&a.file, a.line, a.rule, &a.msg) == (&b.file, b.line, b.rule, &b.msg));
     Ok(violations)
 }
 
@@ -272,7 +281,7 @@ fn no_panic(cfg: &CheckConfig, sources: &[Source], graph: &CallGraph, out: &mut 
         seeds.extend(graph.roots(spec));
     }
     let parents = graph.reach(&seeds);
-    for (&idx, _) in &parents {
+    for &idx in parents.keys() {
         let f = &graph.fns[idx];
         let Some((lo, hi)) = f.body else { continue };
         let src = &sources[f.file];
@@ -311,7 +320,7 @@ fn panic_sites(lexed: &Lexed, lo: usize, hi: usize) -> Vec<(usize, String)> {
         }
         if matches!(toks[i].kind, TokenKind::Ident)
             && PANIC_MACROS.iter().any(|m| lexed.is_ident(i, m))
-            && i + 1 <= hi
+            && i < hi
             && lexed.is_punct(i + 1, b'!')
             && !(i + 2 <= hi && lexed.is_punct(i + 2, b'='))
         {
@@ -330,7 +339,7 @@ fn wire_robust(cfg: &CheckConfig, sources: &[Source], graph: &CallGraph, out: &m
         seeds.extend(graph.roots(spec));
     }
     let parents = graph.reach(&seeds);
-    for (&idx, _) in &parents {
+    for &idx in parents.keys() {
         let f = &graph.fns[idx];
         let src = &sources[f.file];
         if !cfg.wire_robust_files.contains(&src.rel) {
@@ -377,7 +386,9 @@ fn wire_robust(cfg: &CheckConfig, sources: &[Source], graph: &CallGraph, out: &m
                     && i + 1 < toks.len()
                     && lexed.is_punct(i + 1, b'>')
                     && toks[i].end == toks[i + 1].start;
-                if binary && !arrow && operand_is_lengthish(lexed, i, lo, hi)
+                if binary
+                    && !arrow
+                    && operand_is_lengthish(lexed, i, lo, hi)
                     && !lexed.comment_marker_near(i, "BOUND:", 2)
                 {
                     out.push(Violation {
@@ -487,7 +498,11 @@ fn atomic_policy(cfg: &CheckConfig, out: &mut Vec<Violation>) -> Result<(), Stri
 
 /// Lint 4: `unsafe` outside allowlisted modules, or without a
 /// `// SAFETY:` comment on blocks and impls.
-fn unsafe_audit(cfg: &CheckConfig, sources: &[Source], out: &mut Vec<Violation>) -> Result<(), String> {
+fn unsafe_audit(
+    cfg: &CheckConfig,
+    sources: &[Source],
+    out: &mut Vec<Violation>,
+) -> Result<(), String> {
     let extra: Vec<Source> = cfg
         .unsafe_extra
         .iter()
@@ -616,7 +631,10 @@ fn derived_tags(src: &Source) -> Vec<DerivedField> {
         from = pos + TAG.len();
         // The field declaration shares the tag's line:
         // `name: Type, // lint: derived`
-        let line_start = raw[..pos].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let line_start = raw[..pos]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
         let decl = &raw[line_start..pos];
         let Some(colon) = decl.iter().position(|&b| b == b':') else {
             continue;
@@ -866,7 +884,10 @@ mod tests {
     #[test]
     fn unsafe_audit_flags_uncommented_and_unlisted() {
         let mut cfg = empty_config(fixtures());
-        cfg.scan_files = vec![PathBuf::from("unsafe_bad.rs"), PathBuf::from("unsafe_unlisted.rs")];
+        cfg.scan_files = vec![
+            PathBuf::from("unsafe_bad.rs"),
+            PathBuf::from("unsafe_unlisted.rs"),
+        ];
         cfg.unsafe_allow = vec![PathBuf::from("unsafe_bad.rs")];
         let v = run_check(&cfg).unwrap();
         // unsafe_bad.rs: one block without SAFETY (the commented one
@@ -916,6 +937,16 @@ mod tests {
         let v = run_check(&cfg).unwrap();
         assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
         assert!(v[0].msg.contains("summary.shard_unregistered"));
+    }
+
+    #[test]
+    fn telemetry_names_accepts_registered_transport_family() {
+        let mut cfg = empty_config(fixtures());
+        cfg.registry = Some(PathBuf::from("names_registry.rs"));
+        cfg.scan_files = vec![PathBuf::from("telemetry_transport.rs")];
+        let v = run_check(&cfg).unwrap();
+        assert_eq!(rules(&v), vec!["telemetry-names"], "{v:#?}");
+        assert!(v[0].msg.contains("transport.unregistered"));
     }
 
     #[test]
@@ -996,6 +1027,8 @@ mod tests {
             "deref",
             "decode",
             "from_bytes",
+            "next_frame",
+            "decode_all",
         ] {
             assert!(
                 reachable.iter().any(|line| line.contains(root_fn)),

@@ -92,7 +92,10 @@ fn main() -> ExitCode {
                 for line in &lines {
                     println!("{line}");
                 }
-                eprintln!("xtask check: {} function(s) under the no-panic requirement", lines.len());
+                eprintln!(
+                    "xtask check: {} function(s) under the no-panic requirement",
+                    lines.len()
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
